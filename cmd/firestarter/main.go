@@ -1,0 +1,79 @@
+// Command firestarter is a FIRESTARTER-2-style stress demo against the
+// simulated system: it loads every core with the dense 256-bit FMA kernel
+// and reports how the EDC manager throttles frequency, what the external
+// meter reads and what RAPL claims (Fig. 6 / §V-E of the paper).
+//
+// Usage: firestarter [-duration SECONDS] [-no-smt] [-no-edc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zen2ee"
+)
+
+func main() {
+	duration := flag.Float64("duration", 2, "simulated run time in seconds")
+	noSMT := flag.Bool("no-smt", false, "load only one hardware thread per core")
+	noEDC := flag.Bool("no-edc", false, "ablate the EDC manager")
+	flag.Parse()
+
+	var opts []zen2ee.Option
+	if *noEDC {
+		opts = append(opts, zen2ee.WithoutEDCManager())
+	}
+	sys := zen2ee.NewSystem(opts...)
+	if err := sys.SetAllFrequenciesMHz(2500); err != nil {
+		fatal(err)
+	}
+
+	loaded := 0
+	for cpu := 0; cpu < sys.NumCPUs(); cpu++ {
+		if *noSMT && cpu >= sys.NumCores() {
+			break
+		}
+		if err := sys.Run(cpu, "firestarter"); err != nil {
+			fatal(err)
+		}
+		loaded++
+	}
+	fmt.Printf("FIRESTARTER on %d hardware threads (%d cores), nominal 2.5 GHz\n\n", loaded, sys.NumCores())
+
+	// Converge and warm up.
+	sys.AdvanceMillis(300)
+	sys.Preheat()
+
+	fmt.Printf("%8s  %10s  %8s  %10s  %10s\n", "t [s]", "freq [GHz]", "IPC", "AC [W]", "RAPL0 [W]")
+	steps := int(*duration / 0.2)
+	if steps < 1 {
+		steps = 1
+	}
+	for i := 0; i < steps; i++ {
+		st := sys.Stat(0, 100) // advances 100 ms
+		rapl := sys.RAPLPackageWatts(0, 100)
+		fmt.Printf("%8.1f  %10.3f  %8.2f  %10.1f  %10.1f\n",
+			sys.NowSeconds(), st.GHz, st.IPC, sys.PowerWatts(), rapl)
+	}
+
+	fmt.Println()
+	fmt.Printf("final: %.3f GHz effective (EDC %s), %.0f W AC, package temperature %.1f °C\n",
+		sys.CoreGHz(0), onOff(!*noEDC), sys.PowerWatts(), sys.TempC())
+	if !*noEDC {
+		fmt.Println("the EDC manager throttles dense 256-bit FMA below nominal — monitor")
+		fmt.Println("frequencies on Rome systems: the actual ranges are undocumented.")
+	}
+}
+
+func onOff(b bool) string {
+	if b {
+		return "active"
+	}
+	return "ablated"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "firestarter:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command zen2ee runs the paper's experiments against the simulated
+// dual-EPYC-7502 system and prints the regenerated tables and figures.
+//
+// Usage:
+//
+//	zen2ee list                          # list all experiments
+//	zen2ee run <id>|all [-scale S] [-seed N] [-csv]
+//	zen2ee gen-experiments [-scale S]    # emit EXPERIMENTS.md to stdout
+//
+// Scale 1 gives quick, statistically meaningful runs; the paper's full
+// protocol corresponds to roughly -scale 25.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zen2ee/internal/core"
+	"zen2ee/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = list()
+	case "run":
+		err = run(args)
+	case "gen-experiments":
+		err = genExperiments(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zen2ee:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  zen2ee list
+  zen2ee run <id>|all [-scale S] [-seed N] [-csv]
+  zen2ee gen-experiments [-scale S] [-seed N]`)
+}
+
+func list() error {
+	fmt.Printf("%-10s %-12s %-24s %s\n", "ID", "PAPER REF", "BENCH", "TITLE")
+	for _, e := range core.Registry() {
+		fmt.Printf("%-10s %-12s %-24s %s\n", e.ID, e.PaperRef, e.Bench, e.Title)
+	}
+	return nil
+}
+
+func experimentFlags(args []string) (core.Options, bool, []string, error) {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1, "effort scale (paper-full ≈ 25)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	csv := fs.Bool("csv", false, "emit rows as CSV")
+	// Allow flags after the positional argument.
+	var pos []string
+	var flagArgs []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || len(flagArgs) > 0 && needsValue(flagArgs[len(flagArgs)-1]) {
+			flagArgs = append(flagArgs, a)
+		} else {
+			pos = append(pos, a)
+		}
+	}
+	if err := fs.Parse(flagArgs); err != nil {
+		return core.Options{}, false, nil, err
+	}
+	return core.Options{Scale: *scale, Seed: *seed}, *csv, pos, nil
+}
+
+func needsValue(flagTok string) bool {
+	switch strings.TrimLeft(flagTok, "-") {
+	case "scale", "seed":
+		return !strings.Contains(flagTok, "=")
+	}
+	return false
+}
+
+func run(args []string) error {
+	opts, csv, pos, err := experimentFlags(args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		return fmt.Errorf("run needs exactly one experiment id (or 'all')")
+	}
+	var results []*core.Result
+	if pos[0] == "all" {
+		results, err = core.RunAll(opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		e, err := core.ByID(pos[0])
+		if err != nil {
+			return err
+		}
+		r, err := e.Run(opts)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	for _, r := range results {
+		if csv {
+			if err := report.WriteCSV(os.Stdout, r); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println(r.Table())
+		}
+	}
+	return nil
+}
+
+func genExperiments(args []string) error {
+	opts, _, _, err := experimentFlags(args)
+	if err != nil {
+		return err
+	}
+	results, err := core.RunAll(opts)
+	if err != nil {
+		return err
+	}
+	_, err = report.WriteMarkdown(os.Stdout, results, opts)
+	return err
+}

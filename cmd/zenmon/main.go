@@ -1,0 +1,62 @@
+// Command zenmon is a turbostat-style monitor for the simulated system: it
+// starts a workload scenario and prints per-interval frequency, IPC, power
+// and RAPL readings, illustrating the observability stack (perf counters,
+// MSR-based RAPL, external meter).
+//
+// Usage: zenmon [-kernel NAME] [-threads N] [-mhz F] [-intervals N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zen2ee"
+)
+
+func main() {
+	kernel := flag.String("kernel", "busywait", "workload kernel (see -list)")
+	threads := flag.Int("threads", 8, "number of hardware threads to load")
+	mhz := flag.Int("mhz", 2500, "requested frequency in MHz")
+	intervals := flag.Int("intervals", 10, "number of 100 ms monitoring intervals")
+	list := flag.Bool("list", false, "list available kernels and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(zen2ee.Kernels(), "\n"))
+		return
+	}
+
+	sys := zen2ee.NewSystem()
+	if err := sys.SetAllFrequenciesMHz(*mhz); err != nil {
+		fatal(err)
+	}
+	n := *threads
+	if n > sys.NumCPUs() {
+		n = sys.NumCPUs()
+	}
+	for cpu := 0; cpu < n; cpu++ {
+		if err := sys.Run(cpu, *kernel); err != nil {
+			fatal(err)
+		}
+	}
+	sys.AdvanceMillis(100)
+
+	fmt.Printf("monitoring cpu0 under %q on %d threads at %d MHz request\n\n", *kernel, n, *mhz)
+	fmt.Printf("%8s  %10s  %6s  %9s  %10s  %10s  %9s\n",
+		"t [s]", "freq [GHz]", "IPC", "AC [W]", "RAPLpkg[W]", "RAPLcore[W]", "mem[GB/s]")
+	for i := 0; i < *intervals; i++ {
+		st := sys.Stat(0, 50)
+		pkg := sys.RAPLPackageWatts(0, 25)
+		core := sys.RAPLCoreWatts(0, 25)
+		fmt.Printf("%8.2f  %10.3f  %6.2f  %9.1f  %10.1f  %10.2f  %9.1f\n",
+			sys.NowSeconds(), st.GHz, st.IPC, sys.PowerWatts(), pkg, core,
+			sys.MemoryTrafficGBs())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zenmon:", err)
+	os.Exit(1)
+}

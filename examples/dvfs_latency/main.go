@@ -1,0 +1,94 @@
+// dvfs_latency measures frequency-transition delays the way §V-B of the
+// paper does: request a switch, poll until the new performance level is
+// reached, repeat with random waits — revealing the 1 ms transition-slot
+// grid and the fast-return anomaly between the two highest P-states.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"zen2ee"
+)
+
+func measureSwitch(sys *zen2ee.System, cpu, targetMHz int) float64 {
+	if err := sys.SetFrequencyMHz(cpu, targetMHz); err != nil {
+		log.Fatal(err)
+	}
+	target := float64(targetMHz) / 1000
+	us := 0.0
+	for sys.CoreGHz(sys.CoreOf(cpu)) != target && us < 20000 {
+		sys.AdvanceMicros(5)
+		us += 5
+	}
+	return us
+}
+
+func main() {
+	sys := zen2ee.NewSystem()
+	const cpu = 0
+	if err := sys.SetFrequencyMHz(cpu, 2200); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(cpu, "busywait"); err != nil {
+		log.Fatal(err)
+	}
+	sys.AdvanceMillis(20)
+
+	// 2.2 -> 1.5 GHz with random 0-10 ms waits: uniform 390-1390 µs.
+	rng := rand.New(rand.NewSource(1))
+	var delays []float64
+	for i := 0; i < 200; i++ {
+		sys.AdvanceMillis(rng.Float64() * 10)
+		delays = append(delays, measureSwitch(sys, cpu, 1500))
+		sys.AdvanceMillis(6) // settle
+		measureSwitch(sys, cpu, 2200)
+		sys.AdvanceMillis(6)
+	}
+	lo, hi, sum := delays[0], delays[0], 0.0
+	for _, d := range delays {
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+		sum += d
+	}
+	fmt.Printf("2.2 -> 1.5 GHz over %d samples:\n", len(delays))
+	fmt.Printf("  min %.0f µs, max %.0f µs, mean %.0f µs\n", lo, hi, sum/float64(len(delays)))
+	fmt.Printf("  spread ≈ %.0f µs  ⇒ transition-initiation slots on a 1 ms grid\n\n", hi-lo)
+
+	// Histogram (100 µs bins).
+	counts := make([]int, 16)
+	for _, d := range delays {
+		b := int(d / 100)
+		if b >= 0 && b < len(counts) {
+			counts[b]++
+		}
+	}
+	for b, c := range counts {
+		if c > 0 {
+			fmt.Printf("  %4d-%4d µs  %s\n", b*100, b*100+99, bar(c))
+		}
+	}
+
+	// Fast-return anomaly: 2.5 -> 2.2 and immediately back.
+	fmt.Println("\nfast-return anomaly (2.5 ↔ 2.2 GHz, return within 5 ms):")
+	measureSwitch(sys, cpu, 2500)
+	sys.AdvanceMillis(20)
+	down := measureSwitch(sys, cpu, 2200)
+	sys.AdvanceMillis(0.5)
+	up := measureSwitch(sys, cpu, 2500)
+	fmt.Printf("  2.5→2.2: %.0f µs, immediate return 2.2→2.5: %.0f µs (quasi-instantaneous)\n", down, up)
+	fmt.Println("  the previous transition had set the frequency but not settled the voltage")
+}
+
+func bar(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "#"
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+// idle_power_audit walks through the idle-power ladder of §VI: the deep-
+// sleep floor, the disproportionate cost of the first awake thread, the
+// tiny per-core costs after that — and the offline-thread trap that pins an
+// otherwise idle system at C1-level power.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zen2ee"
+)
+
+func main() {
+	sys := zen2ee.NewSystem()
+	sys.AdvanceMillis(20)
+
+	fmt.Println("idle power audit — simulated 2x EPYC 7502")
+	fmt.Println()
+	floor := sys.PowerWatts()
+	fmt.Printf("%-48s %7.1f W\n", "all 128 threads in C2 (package deep sleep):", floor)
+
+	// Put one thread in C1 by disabling its C2 state.
+	if err := sys.SetCStateEnabled(0, 2, false); err != nil {
+		log.Fatal(err)
+	}
+	sys.AdvanceMillis(5)
+	one := sys.PowerWatts()
+	fmt.Printf("%-48s %7.1f W  (+%.1f)\n", "one thread in C1 — I/O die leaves deep sleep:", one, one-floor)
+
+	// The rest of package 0's first threads.
+	for cpu := 1; cpu < 32; cpu++ {
+		if err := sys.SetCStateEnabled(cpu, 2, false); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sys.AdvanceMillis(5)
+	many := sys.PowerWatts()
+	fmt.Printf("%-48s %7.1f W  (+%.2f per core)\n", "32 cores in C1:", many, (many-one)/31)
+
+	// Restore, then demonstrate the offline trap.
+	for cpu := 0; cpu < 32; cpu++ {
+		if err := sys.SetCStateEnabled(cpu, 2, true); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sys.AdvanceMillis(5)
+	fmt.Printf("%-48s %7.1f W\n", "C2 re-enabled everywhere:", sys.PowerWatts())
+	fmt.Println()
+
+	fmt.Println("the offline-thread trap (§VI-B):")
+	for core := 0; core < 32; core++ {
+		if err := sys.SetOnline(sys.SiblingOf(core), false); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sys.AdvanceMillis(5)
+	trapped := sys.PowerWatts()
+	fmt.Printf("%-48s %7.1f W  (+%.1f!)\n", "32 sibling threads offlined via sysfs:", trapped, trapped-floor)
+	for core := 0; core < 32; core++ {
+		if err := sys.SetOnline(sys.SiblingOf(core), true); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sys.AdvanceMillis(5)
+	fmt.Printf("%-48s %7.1f W\n", "threads explicitly re-onlined:", sys.PowerWatts())
+	fmt.Println()
+	fmt.Println("=> do not disable hardware threads on Rome; manage C-states instead.")
+}

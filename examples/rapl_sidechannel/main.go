@@ -1,0 +1,90 @@
+// rapl_sidechannel reruns the §VII-B operand-Hamming-weight study: can an
+// attacker (PLATYPUS-style) distinguish processed data through the RAPL
+// interface? On Zen 2, the external meter separates vxorps operand weights
+// by ~21 W with no distribution overlap, while the modeled RAPL readings
+// barely move — the model's blindness doubles as side-channel hardening.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"zen2ee"
+)
+
+func main() {
+	sys := zen2ee.NewSystem()
+	meter := sys.AttachMeter()
+	if err := sys.SetAllFrequenciesMHz(2500); err != nil {
+		log.Fatal(err)
+	}
+	for cpu := 0; cpu < sys.NumCPUs(); cpu++ {
+		if err := sys.RunWeighted(cpu, "vxorps", 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sys.AdvanceMillis(200)
+	sys.Preheat()
+
+	weights := []float64{0, 0.5, 1}
+	ac := map[float64][]float64{}
+	rapl := map[float64][]float64{}
+	rng := rand.New(rand.NewSource(7))
+
+	const blocks = 45
+	for b := 0; b < blocks; b++ {
+		w := weights[rng.Intn(len(weights))]
+		for cpu := 0; cpu < sys.NumCPUs(); cpu++ {
+			if err := sys.RunWeighted(cpu, "vxorps", w); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sys.AdvanceMillis(60) // let boundary-straddling meter samples pass
+		watts, err := meter.MeasureWatts(300)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ac[w] = append(ac[w], watts)
+		rapl[w] = append(rapl[w], sys.RAPLCoreWatts(0, 300))
+	}
+
+	fmt.Println("vxorps operand Hamming weight study (all 128 threads):")
+	fmt.Printf("%8s  %14s  %18s\n", "weight", "AC mean [W]", "RAPL core0 [W]")
+	for _, w := range weights {
+		fmt.Printf("%8.1f  %14.1f  %18.4f\n", w, mean(ac[w]), mean(rapl[w]))
+	}
+
+	sep := mean(ac[1]) - mean(ac[0])
+	raplRel := (mean(rapl[1]) - mean(rapl[0])) / mean(rapl[0]) * 100
+	fmt.Printf("\nexternal meter separates weights by %.1f W (%.1f%%) — ", sep, sep/mean(ac[0])*100)
+	if overlap(ac[0], ac[1]) {
+		fmt.Println("distributions overlap")
+	} else {
+		fmt.Println("no overlap: data is recoverable from a physical measurement")
+	}
+	fmt.Printf("RAPL core means differ by %+.3f%% — ", raplRel)
+	if overlap(rapl[0], rapl[1]) {
+		fmt.Println("distributions strongly overlap: the modeled RAPL leaks (almost) nothing")
+	} else {
+		fmt.Println("separable")
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// overlap reports whether the two samples' ranges intersect.
+func overlap(a, b []float64) bool {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	return as[len(as)-1] >= bs[0] && bs[len(bs)-1] >= as[0]
+}

@@ -1,0 +1,229 @@
+// Package core is the characterization harness: every table and figure of
+// the paper is a registered Experiment that drives the simulated EPYC 7502
+// system through the paper's methodology and reports its results next to
+// the paper's published values.
+//
+// Experiments return a Result carrying (a) a human-readable table, (b)
+// machine-checkable metrics, (c) raw series for the benchmark harness, and
+// (d) paper-vs-measured comparisons from which EXPERIMENTS.md is generated.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Options controls experiment effort.
+type Options struct {
+	// Scale multiplies sample counts and measurement durations. 1.0 gives
+	// statistically meaningful results in seconds of wall time; the paper's
+	// full protocol (100 000 transition samples, 10 s windows, 2-minute
+	// runs) corresponds to Scale ≈ 25 and is available through the CLI.
+	Scale float64
+	// Seed feeds the deterministic simulation.
+	Seed uint64
+}
+
+// DefaultOptions returns Scale 1, Seed 1.
+func DefaultOptions() Options { return Options{Scale: 1, Seed: 1} }
+
+func (o Options) scaled(n int) int {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	v := int(math.Round(float64(n) * o.Scale))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Comparison is one paper-vs-measured data point.
+type Comparison struct {
+	Name     string
+	Unit     string
+	Paper    float64
+	Measured float64
+	// RelTol is the acceptable relative deviation for the reproduction to
+	// count as matching the paper's shape.
+	RelTol float64
+}
+
+// Deviation returns the relative deviation from the paper value.
+func (c Comparison) Deviation() float64 {
+	if c.Paper == 0 {
+		if c.Measured == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (c.Measured - c.Paper) / math.Abs(c.Paper)
+}
+
+// OK reports whether the measured value reproduces the paper value within
+// tolerance.
+func (c Comparison) OK() bool { return math.Abs(c.Deviation()) <= c.RelTol }
+
+// Result is an experiment outcome.
+type Result struct {
+	ID       string
+	Title    string
+	PaperRef string
+
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+
+	// Metrics carries machine-checkable scalar outcomes.
+	Metrics map[string]float64
+	// Series carries raw vectors (histogram counts, scatter coordinates).
+	Series map[string][]float64
+	// Comparisons drive EXPERIMENTS.md and the integration tests.
+	Comparisons []Comparison
+}
+
+func newResult(id, title, ref string) *Result {
+	return &Result{
+		ID: id, Title: title, PaperRef: ref,
+		Metrics: map[string]float64{},
+		Series:  map[string][]float64{},
+	}
+}
+
+func (r *Result) addRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) compare(name, unit string, paper, measured, relTol float64) {
+	r.Comparisons = append(r.Comparisons, Comparison{
+		Name: name, Unit: unit, Paper: paper, Measured: measured, RelTol: relTol,
+	})
+}
+
+// Metric fetches a metric, with existence check for tests.
+func (r *Result) Metric(name string) (float64, bool) {
+	v, ok := r.Metrics[name]
+	return v, ok
+}
+
+// Table renders the rows as an aligned text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", r.ID, r.Title, r.PaperRef)
+	if len(r.Columns) > 0 {
+		widths := make([]int, len(r.Columns))
+		for i, c := range r.Columns {
+			widths[i] = len(c)
+		}
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, cell := range cells {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+			}
+			b.WriteByte('\n')
+		}
+		writeRow(r.Columns)
+		for i, w := range widths {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat("-", w))
+		}
+		b.WriteByte('\n')
+		for _, row := range r.Rows {
+			writeRow(row)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if len(r.Comparisons) > 0 {
+		b.WriteString("\npaper vs measured:\n")
+		for _, c := range r.Comparisons {
+			mark := "OK"
+			if !c.OK() {
+				mark = "DEVIATES"
+			}
+			fmt.Fprintf(&b, "  %-42s paper %10.3f %-8s measured %10.3f  (%+.1f%%) %s\n",
+				c.Name, c.Paper, c.Unit, c.Measured, 100*c.Deviation(), mark)
+		}
+	}
+	return b.String()
+}
+
+// Experiment is a registered, runnable paper artifact.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string
+	// Bench names the testing.B benchmark regenerating this artifact.
+	Bench string
+	Run   func(Options) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Registry lists all experiments in paper order.
+func Registry() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+// orderOf imposes the paper's presentation order.
+func orderOf(id string) int {
+	order := []string{"fig1", "sec5a", "fig3", "sec5b", "tab1", "fig4",
+		"fig5a", "fig5b", "fig6", "fig7", "sec6acpi", "sec6b", "fig8",
+		"sec7u", "fig9", "fig10", "sec7b", "extboost", "ext7742"}
+	for i, x := range order {
+		if x == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
+}
+
+// RunAll executes every experiment and returns results in paper order.
+func RunAll(o Options) ([]*Result, error) {
+	var out []*Result
+	for _, e := range Registry() {
+		r, err := e.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", e.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"zen2ee/internal/machine"
+	"zen2ee/internal/osmodel"
+	"zen2ee/internal/sim"
+	"zen2ee/internal/soc"
+	"zen2ee/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "tab1",
+		Title:    "Applied core frequencies in a mixed-frequency CCX",
+		PaperRef: "Table I",
+		Bench:    "BenchmarkTable1MixedFrequencies",
+		Run:      runTab1,
+	})
+	register(Experiment{
+		ID:       "fig4",
+		Title:    "L3 cache latency in a mixed-frequency CCX",
+		PaperRef: "Fig. 4",
+		Bench:    "BenchmarkFig4L3Latency",
+		Run:      runFig4,
+	})
+}
+
+// ccxMixedSetup pins the measured core (core 0) to setMHz and the other
+// three cores of CCX0 to othersMHz, all running while(1).
+func ccxMixedSetup(o Options, measured workload.Kernel, setMHz, othersMHz int) (*machine.Machine, error) {
+	m := testSystem(o)
+	if err := m.SetThreadFrequencyMHz(0, setMHz); err != nil {
+		return nil, err
+	}
+	if _, err := m.StartKernel(0, measured, 0); err != nil {
+		return nil, err
+	}
+	for c := 1; c < 4; c++ {
+		th := m.Top.Cores[c].Threads[0]
+		if err := m.SetThreadFrequencyMHz(th, othersMHz); err != nil {
+			return nil, err
+		}
+		if _, err := m.StartKernel(th, workload.Busywait, 0); err != nil {
+			return nil, err
+		}
+	}
+	m.Eng.RunFor(20 * sim.Millisecond)
+	waitTransitionsSettled(m, 10*sim.Millisecond)
+	return m, nil
+}
+
+// paperTab1 holds Table I in GHz: [set][others] for {1.5, 2.2, 2.5}.
+var paperTab1 = [3][3]float64{
+	{1.499, 1.466, 1.428},
+	{2.200, 2.199, 2.000},
+	{2.497, 2.499, 2.499},
+}
+
+var tab1Freqs = []int{1500, 2200, 2500}
+
+func runTab1(o Options) (*Result, error) {
+	r := newResult("tab1", "Applied core frequencies in a mixed-frequency CCX", "Table I")
+	r.Columns = []string{"set [GHz]", "others 1.5", "others 2.2", "others 2.5"}
+
+	intervals := o.scaled(12) // paper: 120 s at 1 s sampling
+	for si, set := range tab1Freqs {
+		row := []string{fmtGHz(float64(set))}
+		for oi, others := range tab1Freqs {
+			m, err := ccxMixedSetup(o, workload.Busywait, set, others)
+			if err != nil {
+				return nil, err
+			}
+			samples := osmodel.PerfStat(m, 0, 250*sim.Millisecond, intervals)
+			ghz := osmodel.MeanFrequencyGHz(samples)
+			row = append(row, fmt.Sprintf("%.3f", ghz))
+			key := fmt.Sprintf("set%d_others%d", set, others)
+			r.Metrics[key] = ghz
+			r.compare(fmt.Sprintf("set %.1f / others %.1f GHz", float64(set)/1000, float64(others)/1000),
+				"GHz", paperTab1[si][oi], ghz, 0.01)
+		}
+		r.addRow(row...)
+	}
+	r.note("core frequencies are reduced if other cores on the same CCX apply higher frequencies; worst case 2.2 GHz → 2.0 GHz")
+	return r, nil
+}
+
+// paperFig4 holds Fig. 4 latencies in ns: [reader][others] for {1.5, 2.2, 2.5}.
+var paperFig4 = [3][3]float64{
+	{25.2, 22.0, 21.2},
+	{17.2, 17.2, 17.2},
+	{15.2, 15.2, 15.2},
+}
+
+func runFig4(o Options) (*Result, error) {
+	r := newResult("fig4", "L3 cache latency in a mixed-frequency CCX", "Fig. 4")
+	r.Columns = []string{"reader [GHz]", "others 1.5", "others 2.2", "others 2.5"}
+
+	reps := o.scaled(3) // paper: several repetitions, minimum reported
+	for ri, reader := range tab1Freqs {
+		row := []string{fmtGHz(float64(reader))}
+		for oi, others := range tab1Freqs {
+			best := 0.0
+			for rep := 0; rep < reps; rep++ {
+				m, err := ccxMixedSetup(o, workload.PointerChase, reader, others)
+				if err != nil {
+					return nil, err
+				}
+				lat := m.L3LatencyNs(0)
+				if rep == 0 || lat < best {
+					best = lat
+				}
+			}
+			row = append(row, fmtNs(best))
+			r.Metrics[fmt.Sprintf("reader%d_others%d_ns", reader, others)] = best
+			r.compare(fmt.Sprintf("reader %.1f / others %.1f GHz", float64(reader)/1000, float64(others)/1000),
+				"ns", paperFig4[ri][oi], best, 0.03)
+		}
+		r.addRow(row...)
+	}
+	r.note("L3 latency of a slow core improves when other cores in the CCX clock higher: the L3 frequency follows the fastest core, even as the reader's own frequency is reduced")
+	return r, nil
+}
+
+var _ = soc.CoreID(0)

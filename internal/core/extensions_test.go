@@ -1,0 +1,26 @@
+package core
+
+import "testing"
+
+func TestExtBoost(t *testing.T) {
+	r := runExp(t, "extboost")
+	light, _ := r.Metric("light_boost_ghz")
+	noboost, _ := r.Metric("light_noboost_ghz")
+	if light <= noboost {
+		t.Fatalf("boost did not raise a lightly-loaded core: %.3f vs %.3f GHz", light, noboost)
+	}
+	dOn, _ := r.Metric("dense_boost_ghz")
+	dOff, _ := r.Metric("dense_noboost_ghz")
+	if rel := (dOn - dOff) / dOff; rel > 0.02 || rel < -0.02 {
+		t.Fatalf("boost changed FIRESTARTER frequency by %.1f%% — paper says almost no influence", rel*100)
+	}
+}
+
+func TestExt7742MoreSevere(t *testing.T) {
+	r := runExp(t, "ext7742")
+	r7502, _ := r.Metric("rel_7502")
+	r7742, _ := r.Metric("rel_7742")
+	if r7742 >= r7502 {
+		t.Fatalf("7742 (%.2f of nominal) should throttle harder than 7502 (%.2f)", r7742, r7502)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"zen2ee/internal/machine"
+	"zen2ee/internal/measure"
+	"zen2ee/internal/sim"
+	"zen2ee/internal/soc"
+	"zen2ee/internal/workload"
+)
+
+// testSystem builds the paper's test system with the experiment seed.
+func testSystem(o Options) *machine.Machine {
+	cfg := machine.DefaultConfig()
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return machine.New(cfg)
+}
+
+// acMeter attaches the LMG670-class reference meter to a machine.
+func acMeter(m *machine.Machine) *measure.PowerAnalyzer {
+	return measure.NewPowerAnalyzer(m.Eng, measure.DefaultAnalyzerConfig(), m)
+}
+
+// measureACWatts runs the system for total simulated time and returns the
+// analyzer's inner-window average, the paper's §IV protocol (scaled from
+// 10 s / inner 8 s).
+func measureACWatts(m *machine.Machine, pa *measure.PowerAnalyzer, total sim.Duration) (float64, error) {
+	start := m.Eng.Now()
+	m.Eng.RunFor(total)
+	inner := total * 8 / 10
+	return pa.InnerAverage(start, total, inner)
+}
+
+// raplPackageWatts measures the RAPL package-domain power of pkg over d.
+func raplPackageWatts(m *machine.Machine, pkg soc.PackageID, d sim.Duration) float64 {
+	e0 := m.RAPL.PackageEnergyJoules(pkg)
+	t0 := m.Eng.Now()
+	m.Eng.RunFor(d)
+	return (m.RAPL.PackageEnergyJoules(pkg) - e0) / m.Eng.Now().Sub(t0).Seconds()
+}
+
+// raplSumPackagesWatts sums the package domains over d.
+func raplSumPackagesWatts(m *machine.Machine, d sim.Duration) float64 {
+	t0 := m.Eng.Now()
+	var e0 float64
+	for p := range m.Top.Packages {
+		e0 += m.RAPL.PackageEnergyJoules(soc.PackageID(p))
+	}
+	m.Eng.RunFor(d)
+	var e1 float64
+	for p := range m.Top.Packages {
+		e1 += m.RAPL.PackageEnergyJoules(soc.PackageID(p))
+	}
+	return (e1 - e0) / m.Eng.Now().Sub(t0).Seconds()
+}
+
+// raplSumCoresWatts sums the per-core domains over d.
+func raplSumCoresWatts(m *machine.Machine, d sim.Duration) float64 {
+	t0 := m.Eng.Now()
+	var e0 float64
+	for c := range m.Top.Cores {
+		e0 += m.RAPL.CoreEnergyJoules(soc.CoreID(c))
+	}
+	m.Eng.RunFor(d)
+	var e1 float64
+	for c := range m.Top.Cores {
+		e1 += m.RAPL.CoreEnergyJoules(soc.CoreID(c))
+	}
+	return (e1 - e0) / m.Eng.Now().Sub(t0).Seconds()
+}
+
+// startOn starts a kernel on a set of threads, failing loudly on error.
+func startOn(m *machine.Machine, k workload.Kernel, weight float64, threads ...soc.ThreadID) error {
+	for _, t := range threads {
+		if _, err := m.StartKernel(t, k, weight); err != nil {
+			return fmt.Errorf("start %s on thread %d: %w", k.Name, t, err)
+		}
+	}
+	return nil
+}
+
+// allThreads lists every hardware thread.
+func allThreads(m *machine.Machine) []soc.ThreadID {
+	out := make([]soc.ThreadID, m.Top.NumThreads())
+	for i := range out {
+		out[i] = soc.ThreadID(i)
+	}
+	return out
+}
+
+// firstThreadsOfCores returns SMT0 threads of the first n cores.
+func firstThreadsOfCores(m *machine.Machine, n int) []soc.ThreadID {
+	out := make([]soc.ThreadID, 0, n)
+	for c := 0; c < n && c < m.Top.NumCores(); c++ {
+		out = append(out, m.Top.Cores[c].Threads[0])
+	}
+	return out
+}
+
+// waitTransitionsSettled runs until no core has a transition in flight
+// (bounded to avoid livelock).
+func waitTransitionsSettled(m *machine.Machine, bound sim.Duration) {
+	deadline := m.Eng.Now().Add(bound)
+	for m.Eng.Now() < deadline {
+		busy := false
+		for c := range m.Top.Cores {
+			if m.DVFS.TransitionInFlight(soc.CoreID(c)) {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		m.Eng.RunFor(100 * sim.Microsecond)
+	}
+}
+
+// pollUntilFrequency advances the simulation until the core's effective
+// frequency equals target (within eps), polling at the given granularity.
+// Returns the elapsed time, or false if deadline passed.
+func pollUntilFrequency(m *machine.Machine, core soc.CoreID, targetMHz float64, poll, deadline sim.Duration) (sim.Duration, bool) {
+	start := m.Eng.Now()
+	for m.Eng.Now().Sub(start) < deadline {
+		if m.EffectiveMHz(core) == targetMHz {
+			return m.Eng.Now().Sub(start), true
+		}
+		m.Eng.RunFor(poll)
+	}
+	return 0, false
+}
+
+func fmtGHz(mhz float64) string   { return fmt.Sprintf("%.3f", mhz/1000) }
+func fmtW(w float64) string       { return fmt.Sprintf("%.1f", w) }
+func fmtNs(ns float64) string     { return fmt.Sprintf("%.1f", ns) }
+func fmtUs(d sim.Duration) string { return fmt.Sprintf("%.1f", d.Micros()) }

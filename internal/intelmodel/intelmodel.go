@@ -1,0 +1,98 @@
+// Package intelmodel encodes the published behaviour of the Intel server
+// systems the paper compares against — Haswell-EP ([12]) and Skylake-SP
+// ([16]) — as executable baselines:
+//
+//   - Core frequency transitions: a 500 µs update interval (vs. 1 ms on
+//     Zen 2) with a 21–24 µs ramp (vs. ~390 µs).
+//   - Idle power structure of the dual Xeon Gold 6154 reference: 69 W all
+//     in C6, +97 W for the first core leaving package C-states (C1E), and
+//     ~3.5 W per additional active pause core — about ten times the AMD
+//     Rome per-core cost.
+//   - RAPL since Haswell is *measured*, covers DRAM in a separate domain,
+//     and package+DRAM maps to system AC power through a single function.
+//
+// The ablation benchmarks run the paper's experiments against these
+// baselines to make the cross-vendor comparisons executable.
+package intelmodel
+
+import (
+	"zen2ee/internal/sim"
+)
+
+// TransitionConfig describes the Intel DVFS timing (Haswell/Skylake).
+type TransitionConfig struct {
+	SlotPeriod sim.Duration
+	RampMin    sim.Duration
+	RampMax    sim.Duration
+}
+
+// HaswellTransitions returns the published Haswell-EP parameters.
+func HaswellTransitions() TransitionConfig {
+	return TransitionConfig{
+		SlotPeriod: 500 * sim.Microsecond,
+		RampMin:    21 * sim.Microsecond,
+		RampMax:    24 * sim.Microsecond,
+	}
+}
+
+// SampleDelay draws one frequency-transition delay for a request arriving
+// uniformly at random within the update interval.
+func (c TransitionConfig) SampleDelay(rng *sim.RNG) sim.Duration {
+	slot := rng.DurationRange(0, c.SlotPeriod)
+	ramp := rng.DurationRange(c.RampMin, c.RampMax+1)
+	return slot + ramp
+}
+
+// DelayBounds returns the minimum and maximum possible transition delay.
+func (c TransitionConfig) DelayBounds() (sim.Duration, sim.Duration) {
+	return c.RampMin, c.SlotPeriod + c.RampMax
+}
+
+// IdleConfig describes the Skylake-SP reference idle power structure.
+type IdleConfig struct {
+	FloorWatts      float64 // all cores in C6
+	FirstWakeWatts  float64 // first core in C1E
+	ActiveCoreWatts float64 // per additional active (pause) core
+}
+
+// SkylakeIdle returns the dual Xeon Gold 6154 values from [16].
+func SkylakeIdle() IdleConfig {
+	return IdleConfig{FloorWatts: 69, FirstWakeWatts: 97, ActiveCoreWatts: 3.5}
+}
+
+// SystemWatts composes idle power for a number of active pause cores.
+// C1E semantics: any active core keeps the package out of deep sleep.
+func (c IdleConfig) SystemWatts(activeCores int) float64 {
+	if activeCores <= 0 {
+		return c.FloorWatts
+	}
+	return c.FloorWatts + c.FirstWakeWatts + c.ActiveCoreWatts*float64(activeCores-1)
+}
+
+// RAPLConfig describes Intel's measured RAPL (Haswell and later).
+type RAPLConfig struct {
+	// PSUEfficiency maps DC (package+DRAM) power to AC at the wall.
+	PSUEfficiency float64
+	// OtherWatts is the non-CPU, non-DRAM platform power.
+	OtherWatts float64
+	// MeasurementErrorRel is the residual error of the measured RAPL.
+	MeasurementErrorRel float64
+}
+
+// HaswellRAPL returns a measured-RAPL configuration: since Haswell,
+// "package + DRAM" predicts system power through one function ([12]).
+func HaswellRAPL() RAPLConfig {
+	return RAPLConfig{PSUEfficiency: 0.92, OtherWatts: 60, MeasurementErrorRel: 0.01}
+}
+
+// SystemFromRAPL predicts AC power from package+DRAM readings — the single
+// mapping function that exists on Intel but not on Zen 2.
+func (c RAPLConfig) SystemFromRAPL(pkgWatts, dramWatts float64) float64 {
+	return (pkgWatts+dramWatts)/c.PSUEfficiency + c.OtherWatts
+}
+
+// RAPLFromTrue inverts the mapping: what a measured RAPL implementation
+// reports for given true DC domain power (error-free midpoint).
+func (c RAPLConfig) RAPLFromTrue(domainWatts float64) float64 {
+	return domainWatts
+}

@@ -1,0 +1,70 @@
+package intelmodel
+
+import (
+	"math"
+	"testing"
+
+	"zen2ee/internal/sim"
+)
+
+func TestHaswellDelayBounds(t *testing.T) {
+	c := HaswellTransitions()
+	lo, hi := c.DelayBounds()
+	if lo != 21*sim.Microsecond {
+		t.Fatalf("min delay %v", lo)
+	}
+	if hi != 524*sim.Microsecond {
+		t.Fatalf("max delay %v", hi)
+	}
+}
+
+func TestHaswellDelaysMuchFasterThanZen2(t *testing.T) {
+	c := HaswellTransitions()
+	rng := sim.NewRNG(1)
+	var worst sim.Duration
+	for i := 0; i < 10000; i++ {
+		d := c.SampleDelay(rng)
+		lo, hi := c.DelayBounds()
+		if d < lo || d > hi {
+			t.Fatalf("sample %v outside [%v, %v]", d, lo, hi)
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	// Zen 2's *minimum* delay (390 µs ramp) exceeds most Intel delays;
+	// Intel's worst case (524 µs) is below Zen 2's uniform-window max.
+	if worst >= 1390*sim.Microsecond {
+		t.Fatalf("Intel worst case %v should be far below Zen 2's 1390 µs", worst)
+	}
+}
+
+func TestSkylakeIdleStructure(t *testing.T) {
+	c := SkylakeIdle()
+	if got := c.SystemWatts(0); got != 69 {
+		t.Fatalf("floor %v", got)
+	}
+	if got := c.SystemWatts(1); got != 166 {
+		t.Fatalf("first core %v, want 69+97", got)
+	}
+	if d := c.SystemWatts(2) - c.SystemWatts(1); math.Abs(d-3.5) > 1e-9 {
+		t.Fatalf("per-core %v, want 3.5 (≈10× the Rome 0.33)", d)
+	}
+}
+
+func TestRAPLSingleFunctionMapping(t *testing.T) {
+	c := HaswellRAPL()
+	// The mapping is strictly monotone: more domain power, more AC power.
+	prev := 0.0
+	for w := 50.0; w <= 400; w += 25 {
+		ac := c.SystemFromRAPL(w, 30)
+		if ac <= prev {
+			t.Fatalf("mapping not monotone at %v", w)
+		}
+		prev = ac
+	}
+	// Round trip through the measured counter is the identity.
+	if got := c.RAPLFromTrue(123.4); got != 123.4 {
+		t.Fatalf("measured RAPL distorts: %v", got)
+	}
+}

@@ -1,0 +1,528 @@
+// Package machine assembles the full simulated system: topology, MSR file,
+// DVFS controller, C-state model, SMU (EDC manager), I/O die, power model,
+// thermal model, RAPL model and per-thread performance counters — the
+// simulated counterpart of the paper's dual-socket EPYC 7502 test system.
+//
+// All state mutations funnel through refresh(), which lazily advances every
+// integrator (AC energy, RAPL energy, cycles/instructions/aperf/mperf)
+// before switching to the new rates, so counters and energies are exact for
+// piecewise-constant behaviour regardless of event granularity.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"zen2ee/internal/cstate"
+	"zen2ee/internal/dvfs"
+	"zen2ee/internal/iodie"
+	"zen2ee/internal/msr"
+	"zen2ee/internal/power"
+	"zen2ee/internal/rapl"
+	"zen2ee/internal/sim"
+	"zen2ee/internal/smu"
+	"zen2ee/internal/soc"
+	"zen2ee/internal/workload"
+)
+
+// Config aggregates all subsystem configurations.
+type Config struct {
+	SoC    soc.Config
+	DVFS   dvfs.Config
+	CState cstate.Config
+	SMU    smu.Config
+	IOD    iodie.Config
+	Power  power.Config
+	RAPL   rapl.Config
+	Seed   uint64
+}
+
+// DefaultConfig returns the paper's test system.
+func DefaultConfig() Config {
+	sc := soc.EPYC7502x2()
+	sm := smu.DefaultConfig()
+	sm.EDCAmps = sc.EDCAmps
+	sm.TDPWatts = sc.TDPWatts
+	return Config{
+		SoC:    sc,
+		DVFS:   dvfs.DefaultConfig(),
+		CState: cstate.DefaultConfig(),
+		SMU:    sm,
+		IOD:    iodie.DefaultConfig(),
+		Power:  power.DefaultConfig(),
+		RAPL:   rapl.DefaultConfig(),
+		Seed:   1,
+	}
+}
+
+// EPYC7742Config returns a dual-socket 64-core Rome configuration — the
+// paper's future-work target ("we will analyze the frequency throttling on
+// processors with more cores. We expect a more severe impact, since the
+// ratio of compute to I/O resources is higher"). P-state table and EDC
+// limit follow the 7742's 2.25 GHz nominal / 225 W TDP envelope; the power
+// floor and I/O-die model are carried over from the 7502 system.
+func EPYC7742Config() Config {
+	cfg := DefaultConfig()
+	cfg.SoC = soc.EPYC7742x2()
+	cfg.DVFS.PStates = []dvfs.PState{
+		{MHz: 2250, Volts: 1.05},
+		{MHz: 1800, Volts: 0.95},
+		{MHz: 1500, Volts: 0.90},
+	}
+	cfg.SMU.EDCAmps = cfg.SoC.EDCAmps
+	cfg.SMU.TDPWatts = cfg.SoC.TDPWatts
+	return cfg
+}
+
+// threadRun tracks what a hardware thread is executing.
+type threadRun struct {
+	active bool
+	kernel workload.Kernel
+	weight float64 // operand Hamming weight
+}
+
+// Machine is the simulated system.
+type Machine struct {
+	Eng     *sim.Engine
+	Top     *soc.Topology
+	Regs    *msr.File
+	DVFS    *dvfs.Controller
+	CStates *cstate.Model
+	SMU     *smu.Manager
+	Power   *power.Model
+	Thermal *power.Thermal
+	RAPL    *rapl.Model
+
+	cfg Config
+	iod iodie.Config
+
+	runs []threadRun
+
+	acEnergy *sim.EnergyIntegrator
+	lastSysW float64
+
+	cycles []*sim.EnergyIntegrator // cycles/s while in C0 (== aperf)
+	instrs []*sim.EnergyIntegrator
+	mperf  []*sim.EnergyIntegrator
+
+	trafficGBs float64
+	inRefresh  bool
+
+	// Reused buffers for the refresh hot path.
+	inputsBuf []power.CoreInput
+	pkgWBuf   []float64
+}
+
+// New builds and wires the system. All threads start idle in the deepest
+// C-state at the lowest P-state.
+func New(cfg Config) *Machine {
+	eng := sim.NewEngine(cfg.Seed)
+	top := soc.New(cfg.SoC)
+	regs := msr.NewFile(top.NumThreads())
+
+	m := &Machine{
+		Eng:  eng,
+		Top:  top,
+		Regs: regs,
+		cfg:  cfg,
+		iod:  cfg.IOD,
+		runs: make([]threadRun, top.NumThreads()),
+	}
+	m.DVFS = dvfs.New(eng, top, cfg.DVFS, regs)
+	m.CStates = cstate.New(eng, top, cfg.CState)
+	m.Power = power.NewModel(cfg.Power)
+	m.Thermal = power.NewThermal(cfg.Power)
+	m.RAPL = rapl.New(eng, top, cfg.RAPL, regs)
+
+	m.acEnergy = sim.NewEnergyIntegrator(eng.Now(), 0)
+	nominal := float64(cfg.SoC.NominalMHz)
+	for t := 0; t < top.NumThreads(); t++ {
+		m.cycles = append(m.cycles, sim.NewEnergyIntegrator(eng.Now(), 0))
+		m.instrs = append(m.instrs, sim.NewEnergyIntegrator(eng.Now(), 0))
+		m.mperf = append(m.mperf, sim.NewEnergyIntegrator(eng.Now(), 0))
+	}
+	m.wirePerfMSRs(nominal)
+
+	m.CStates.OnCoreActive = func(core soc.CoreID, n int) { m.DVFS.SetActiveThreads(core, n) }
+	m.CStates.AfterChange = m.refresh
+	m.DVFS.AfterChange = m.refresh
+
+	m.SMU = smu.New(eng, top, cfg.SMU, m.DVFS, (*activitySource)(m))
+
+	// Idle system: every thread parks in the deepest C-state.
+	for t := 0; t < top.NumThreads(); t++ {
+		m.CStates.EnterIdle(soc.ThreadID(t), cstate.C2)
+	}
+	m.refresh()
+	return m
+}
+
+func (m *Machine) wirePerfMSRs(nominalMHz float64) {
+	m.Regs.HookRead(msr.TSC, func(cpu int) uint64 {
+		return uint64(m.Eng.Now().Seconds() * nominalMHz * 1e6)
+	})
+	m.Regs.HookRead(msr.APERF, func(cpu int) uint64 {
+		return uint64(m.cycles[cpu].Energy(m.Eng.Now()))
+	})
+	m.Regs.HookRead(msr.MPERF, func(cpu int) uint64 {
+		return uint64(m.mperf[cpu].Energy(m.Eng.Now()))
+	})
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// IOD returns the current I/O-die configuration.
+func (m *Machine) IOD() iodie.Config { return m.iod }
+
+// SetIODSetting selects the I/O-die P-state (BIOS option).
+func (m *Machine) SetIODSetting(s iodie.Setting) {
+	m.iod.Setting = s
+	m.refresh()
+}
+
+// SetDRAMClock selects the DRAM frequency in MHz (BIOS option).
+func (m *Machine) SetDRAMClock(mhz int) {
+	m.iod.MemClkMHz = mhz
+	m.refresh()
+}
+
+// --- Workload control ---
+
+// StartKernel puts a thread to work on a kernel. If the thread is idle it
+// is woken first; the returned duration is the wake-up latency (zero when
+// already active). weight is the operand Hamming weight for data-dependent
+// kernels.
+func (m *Machine) StartKernel(t soc.ThreadID, k workload.Kernel, weight float64) (sim.Duration, error) {
+	if !m.Top.Online(t) {
+		return 0, fmt.Errorf("machine: thread %d is offline", t)
+	}
+	lat := sim.Duration(0)
+	if m.CStates.EffectiveState(t) != cstate.C0 {
+		core := m.Top.Threads[t].Core
+		lat = m.CStates.Wake(t, m.DVFS.EffectiveMHz(core), false)
+	}
+	m.runs[t] = threadRun{active: true, kernel: k, weight: weight}
+	m.refresh()
+	return lat, nil
+}
+
+// SetHammingWeight changes the operand weight of a running kernel.
+func (m *Machine) SetHammingWeight(t soc.ThreadID, weight float64) {
+	if m.runs[t].active {
+		m.runs[t].weight = weight
+		m.refresh()
+	}
+}
+
+// StopKernel idles a thread; the cpuidle governor picks the deepest enabled
+// C-state.
+func (m *Machine) StopKernel(t soc.ThreadID) {
+	m.runs[t] = threadRun{}
+	m.CStates.EnterIdle(t, m.CStates.DeepestEnabled(t))
+	m.refresh()
+}
+
+// Running reports whether the thread is executing a kernel.
+func (m *Machine) Running(t soc.ThreadID) bool { return m.runs[t].active }
+
+// KernelOn returns the kernel a thread runs (zero Kernel when idle).
+func (m *Machine) KernelOn(t soc.ThreadID) workload.Kernel { return m.runs[t].kernel }
+
+// SetThreadFrequencyMHz is the cpufreq userspace-governor path: pins one
+// hardware thread's requested frequency.
+func (m *Machine) SetThreadFrequencyMHz(t soc.ThreadID, mhz int) error {
+	return m.DVFS.RequestMHz(t, mhz)
+}
+
+// SetAllFrequenciesMHz pins every thread's request.
+func (m *Machine) SetAllFrequenciesMHz(mhz int) error {
+	for t := 0; t < m.Top.NumThreads(); t++ {
+		if err := m.DVFS.RequestMHz(soc.ThreadID(t), mhz); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetOnline flips a thread's sysfs online state. Offlining stops any
+// running kernel; under the §VI-B anomaly the thread is then elevated to C1.
+func (m *Machine) SetOnline(t soc.ThreadID, online bool) error {
+	if !online {
+		m.runs[t] = threadRun{}
+		m.CStates.EnterIdle(t, m.CStates.DeepestEnabled(t))
+	}
+	if err := m.Top.SetOnline(t, online); err != nil {
+		return err
+	}
+	m.CStates.NotifyOnlineChanged()
+	m.refresh()
+	return nil
+}
+
+// SetCStateEnabled toggles a sysfs C-state disable file and re-applies the
+// idle governor's choice on idle threads (disabling C2 demotes C2 residents
+// to C1; re-enabling promotes them back — the Fig. 7 sweep protocol).
+func (m *Machine) SetCStateEnabled(t soc.ThreadID, s cstate.State, enabled bool) error {
+	if err := m.CStates.SetEnabled(t, s, enabled); err != nil {
+		return err
+	}
+	if !m.runs[t].active && m.Top.Online(t) {
+		m.CStates.EnterIdle(t, m.CStates.DeepestEnabled(t))
+	}
+	m.refresh()
+	return nil
+}
+
+// WakeLatency reports the latency to wake thread t from its current state,
+// with the waker on the same (remote=false) or the other package.
+func (m *Machine) WakeLatency(t soc.ThreadID, remote bool) sim.Duration {
+	core := m.Top.Threads[t].Core
+	return m.CStates.WakeLatency(m.CStates.EffectiveState(t), m.DVFS.EffectiveMHz(core), remote)
+}
+
+// --- Observables ---
+
+// SystemWatts returns the present true AC power.
+func (m *Machine) SystemWatts() float64 { return m.lastSysW }
+
+// EnergyJoules implements measure.EnergySource: total AC energy.
+func (m *Machine) EnergyJoules(now sim.Time) float64 { return m.acEnergy.Energy(now) }
+
+// TrafficGBs returns the currently-achieved DRAM traffic.
+func (m *Machine) TrafficGBs() float64 { return m.trafficGBs }
+
+// EffectiveMHz returns a core's effective frequency.
+func (m *Machine) EffectiveMHz(core soc.CoreID) float64 { return m.DVFS.EffectiveMHz(core) }
+
+// TempC returns the package temperature.
+func (m *Machine) TempC() float64 { return m.Thermal.TempC() }
+
+// Preheat brings the thermal model to steady state for the present power —
+// the paper's 15-minute warm-up before power-sensitive measurements.
+func (m *Machine) Preheat() { m.Thermal.Preheat(m.lastSysW) }
+
+// Counters is a per-thread performance-counter snapshot.
+type Counters struct {
+	Cycles       float64
+	Instructions float64
+	Aperf        float64
+	Mperf        float64
+	TSC          float64
+}
+
+// ReadCounters samples a thread's counters.
+func (m *Machine) ReadCounters(t soc.ThreadID) Counters {
+	now := m.Eng.Now()
+	return Counters{
+		Cycles:       m.cycles[t].Energy(now),
+		Instructions: m.instrs[t].Energy(now),
+		Aperf:        m.cycles[t].Energy(now),
+		Mperf:        m.mperf[t].Energy(now),
+		TSC:          now.Seconds() * float64(m.cfg.SoC.NominalMHz) * 1e6,
+	}
+}
+
+// L3LatencyNs returns the L3 hit latency observed by a core: the Fig. 4
+// model 20.0/f_core + 16.5/f_L3 + 0.61 ns (frequencies in GHz, fitted to
+// all nine cells of Fig. 4 within 0.25 ns using the *effective* core
+// frequencies of Table I), where the L3 clock follows the fastest active
+// core in the CCX.
+func (m *Machine) L3LatencyNs(core soc.CoreID) float64 {
+	fCore := m.DVFS.EffectiveMHz(core) / 1000
+	fL3 := m.DVFS.L3MHz(m.Top.Cores[core].CCX) / 1000
+	if fCore <= 0 || fL3 <= 0 {
+		return math.Inf(1)
+	}
+	return 20.0/fCore + 16.5/fL3 + 0.61
+}
+
+// DRAMLatencyNs returns the main-memory latency for the current I/O-die and
+// DRAM configuration (Fig. 5b).
+func (m *Machine) DRAMLatencyNs() float64 { return m.iod.LatencyNs() }
+
+// StreamBandwidthGBs returns the achieved STREAM bandwidth for reading
+// cores placed on a single CCD (Fig. 5a).
+func (m *Machine) StreamBandwidthGBs(cores int, twoCCX bool) float64 {
+	return m.iod.StreamBandwidthGBs(cores, twoCCX)
+}
+
+// --- Internal derivation ---
+
+// refresh recomputes all rates after a state change. It is idempotent at a
+// fixed simulation time.
+func (m *Machine) refresh() {
+	if m.inRefresh {
+		return // guard against hook re-entry
+	}
+	m.inRefresh = true
+	defer func() { m.inRefresh = false }()
+
+	now := m.Eng.Now()
+	raplCfg := m.RAPL.Config()
+	nominalGHz := float64(m.cfg.SoC.NominalMHz) / 1000
+
+	// Advance the thermal model under the previous power level first.
+	m.Thermal.Advance(now, m.lastSysW)
+
+	if m.inputsBuf == nil {
+		m.inputsBuf = make([]power.CoreInput, m.Top.NumCores())
+		m.pkgWBuf = make([]float64, len(m.Top.Packages))
+	}
+	inputs := m.inputsBuf
+	for c := range m.Top.Cores {
+		core := soc.CoreID(c)
+		ci := power.CoreInput{
+			State:         m.CStates.CoreState(core),
+			ActiveThreads: m.CStates.ActiveThreads(core),
+		}
+		if ci.ActiveThreads > 0 {
+			eff := m.DVFS.EffectiveMHz(core)
+			ci.GHz = eff / 1000
+			ci.Volts = m.DVFS.VoltageAt(eff)
+			ci.Kernel, ci.HammingWeight = m.coreKernel(core)
+		}
+		inputs[c] = ci
+	}
+
+	// Memory traffic per CCD, capped by the Fig. 5a response surface.
+	m.trafficGBs = 0
+	for _, ccd := range m.Top.CCDs {
+		demand := 0.0
+		nCores := 0
+		ccxWithTraffic := 0
+		for _, ccxID := range ccd.CCXs {
+			hit := false
+			for _, core := range m.Top.CCXs[ccxID].Cores {
+				ci := inputs[core]
+				if ci.ActiveThreads > 0 && ci.Kernel.MemGBs > 0 {
+					demand += ci.Kernel.MemGBs * ci.GHz / nominalGHz
+					nCores++
+					hit = true
+				}
+			}
+			if hit {
+				ccxWithTraffic++
+			}
+		}
+		if nCores > 0 {
+			cap := m.iod.StreamBandwidthGBs(nCores, ccxWithTraffic > 1)
+			m.trafficGBs += math.Min(demand, cap)
+		}
+	}
+
+	deep := m.CStates.SystemDeepSleep()
+	sysW := m.Power.SystemWatts(power.Input{
+		Cores:          inputs,
+		DeepSleep:      deep,
+		IOD:            m.iod,
+		DRAMTrafficGBs: m.trafficGBs,
+	})
+	m.acEnergy.SetPower(now, sysW)
+	m.lastSysW = sysW
+
+	// RAPL model: per-core activity-event estimate plus package uncore and
+	// temperature leakage. The toggle (operand) component is deliberately
+	// absent — that is the paper's central RAPL finding.
+	leak := math.Max(0, raplCfg.TempLeakPerK*(m.Thermal.TempC()-raplCfg.TempRefC))
+	pkgW := m.pkgWBuf
+	for i := range pkgW {
+		pkgW[i] = 0
+	}
+	for c := range m.Top.Cores {
+		core := soc.CoreID(c)
+		ci := inputs[c]
+		var w float64
+		switch {
+		case ci.ActiveThreads > 0:
+			smt := 1.0
+			if ci.ActiveThreads > 1 {
+				smt += ci.Kernel.SMTFactor
+			}
+			dyn := ci.Kernel.DynWatts * ci.GHz * ci.Volts * ci.Volts * smt
+			w = ci.Kernel.RAPLWeight*dyn + raplCfg.CoreC0Static
+		case ci.State == cstate.C1:
+			w = raplCfg.CoreC1Static
+		default:
+			w = raplCfg.CoreC2Static
+		}
+		m.RAPL.SetCorePower(core, w)
+		pkgW[m.Top.PackageOfCore(core)] += w
+	}
+	for p := range pkgW {
+		uncore := raplCfg.UncoreActive
+		if deep {
+			uncore = raplCfg.UncoreSleep
+		}
+		m.RAPL.SetPackagePower(soc.PackageID(p), pkgW[p]+uncore+leak)
+	}
+
+	// Per-thread performance counters.
+	for t := 0; t < m.Top.NumThreads(); t++ {
+		id := soc.ThreadID(t)
+		var cyc, ins, mpf float64
+		if m.CStates.EffectiveState(id) == cstate.C0 && m.Top.Online(id) {
+			core := m.Top.Threads[id].Core
+			effMHz := m.DVFS.EffectiveMHz(core)
+			cyc = effMHz * 1e6
+			mpf = float64(m.cfg.SoC.NominalMHz) * 1e6
+			if m.runs[id].active {
+				n := m.CStates.ActiveThreads(core)
+				ins = m.runs[id].kernel.IPC(n) / float64(n) * effMHz * 1e6
+			}
+		}
+		m.cycles[t].SetPower(m.Eng.Now(), cyc)
+		m.instrs[t].SetPower(m.Eng.Now(), ins)
+		m.mperf[t].SetPower(m.Eng.Now(), mpf)
+	}
+}
+
+// coreKernel picks the kernel and operand weight representing a core: the
+// kernel of its first active running thread; the weight is the maximum over
+// active threads.
+func (m *Machine) coreKernel(core soc.CoreID) (workload.Kernel, float64) {
+	var k workload.Kernel
+	var weight float64
+	found := false
+	for _, t := range m.Top.Cores[core].Threads {
+		if m.CStates.EffectiveState(t) == cstate.C0 && m.runs[t].active {
+			if !found {
+				k = m.runs[t].kernel
+				found = true
+			}
+			if m.runs[t].weight > weight {
+				weight = m.runs[t].weight
+			}
+		}
+	}
+	if !found {
+		// Active (C0) but not running a kernel: a pause-like OS idle loop
+		// (POLL) — occurs only transiently.
+		k = workload.Poll
+	}
+	return k, weight
+}
+
+// activitySource adapts Machine to smu.ActivitySource: the SMU monitors the
+// machine's own activity and power model (its internal estimate), not the
+// external reference meter.
+type activitySource Machine
+
+func (a *activitySource) CoreCurrentAmps(core soc.CoreID) float64 {
+	m := (*Machine)(a)
+	n := m.CStates.ActiveThreads(core)
+	if n == 0 {
+		return 0
+	}
+	k, _ := m.coreKernel(core)
+	eff := m.DVFS.EffectiveMHz(core)
+	return k.EDCWeight(n) * (eff / 1000) * m.DVFS.VoltageAt(eff)
+}
+
+func (a *activitySource) CoreActive(core soc.CoreID) bool {
+	return (*Machine)(a).CStates.ActiveThreads(core) > 0
+}
+
+func (a *activitySource) PackageWatts(pkg soc.PackageID) float64 {
+	return (*Machine)(a).RAPL.PackagePowerWatts(pkg)
+}

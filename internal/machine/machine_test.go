@@ -1,0 +1,416 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"zen2ee/internal/cstate"
+	"zen2ee/internal/iodie"
+	"zen2ee/internal/msr"
+	"zen2ee/internal/sim"
+	"zen2ee/internal/soc"
+	"zen2ee/internal/workload"
+)
+
+func newMachine() *Machine { return New(DefaultConfig()) }
+
+func settle(m *Machine, d sim.Duration) { m.Eng.RunFor(d) }
+
+func TestIdleSystemAtFloor(t *testing.T) {
+	m := newMachine()
+	settle(m, 100*sim.Millisecond)
+	if got := m.SystemWatts(); math.Abs(got-99.1) > 0.01 {
+		t.Fatalf("idle system %v W, want 99.1", got)
+	}
+	if !m.CStates.SystemDeepSleep() {
+		t.Fatal("idle system not in deep sleep")
+	}
+}
+
+func TestOneC1ThreadWakesIODie(t *testing.T) {
+	m := newMachine()
+	settle(m, 10*sim.Millisecond)
+	if err := m.SetCStateEnabled(0, cstate.C2, false); err != nil {
+		t.Fatal(err)
+	}
+	got := m.SystemWatts()
+	if math.Abs(got-180.39) > 0.3 {
+		t.Fatalf("one C1 thread: %v W, want ~180.3 (Fig. 7)", got)
+	}
+}
+
+func TestFig7Slope(t *testing.T) {
+	m := newMachine()
+	// Disable C2 on the first-thread of cores 0..9 (package 0).
+	for i := 0; i < 10; i++ {
+		if err := m.SetCStateEnabled(soc.ThreadID(i), cstate.C2, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p10 := m.SystemWatts()
+	if err := m.SetCStateEnabled(10, cstate.C2, false); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.SystemWatts() - p10; math.Abs(d-0.09) > 0.001 {
+		t.Fatalf("per-C1-core slope %v, want 0.09", d)
+	}
+	// Second hardware threads add nothing in C1 (core already C1).
+	before := m.SystemWatts()
+	if err := m.SetCStateEnabled(64, cstate.C2, false); err != nil { // sibling of cpu0
+		t.Fatal(err)
+	}
+	if d := m.SystemWatts() - before; math.Abs(d) > 1e-9 {
+		t.Fatalf("sibling C1 added %v W, want 0", d)
+	}
+}
+
+func TestActivePauseThread(t *testing.T) {
+	m := newMachine()
+	if err := m.SetAllFrequenciesMHz(2500); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 10*sim.Millisecond)
+	if _, err := m.StartKernel(0, workload.Pause, 0); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 10*sim.Millisecond)
+	got := m.SystemWatts()
+	if math.Abs(got-180.6) > 0.5 {
+		t.Fatalf("one pause thread at 2.5 GHz: %v W, want ~180.4", got)
+	}
+}
+
+func TestOfflineAnomalyPowerLevel(t *testing.T) {
+	// §VI-B: offline threads elevate power to the C1 level despite C2
+	// being enabled and used everywhere else.
+	m := newMachine()
+	settle(m, 10*sim.Millisecond)
+	floor := m.SystemWatts()
+	if err := m.SetOnline(64, false); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 10*sim.Millisecond)
+	elevated := m.SystemWatts()
+	if elevated-floor < 80 {
+		t.Fatalf("offline thread raised power by only %v W, want ~81.3", elevated-floor)
+	}
+	// Re-onlining fixes it.
+	if err := m.SetOnline(64, true); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 10*sim.Millisecond)
+	if got := m.SystemWatts(); math.Abs(got-floor) > 0.01 {
+		t.Fatalf("power %v after re-online, want %v", got, floor)
+	}
+}
+
+func TestIdleSiblingElevatesFrequency(t *testing.T) {
+	// §V-A: thread 0 works at 1.5 GHz; its idle sibling requests 2.5 GHz
+	// and the core follows the sibling.
+	m := newMachine()
+	if err := m.SetThreadFrequencyMHz(0, 1500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartKernel(0, workload.Busywait, 0); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 20*sim.Millisecond)
+	if f := m.EffectiveMHz(0); f != 1500 {
+		t.Fatalf("baseline frequency %v, want 1500", f)
+	}
+	// Sibling (idle!) requests nominal.
+	if err := m.SetThreadFrequencyMHz(64, 2500); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 20*sim.Millisecond)
+	if f := m.EffectiveMHz(0); f != 2500 {
+		t.Fatalf("idle sibling did not elevate: %v MHz", f)
+	}
+	// Offlining the sibling leaves the request in force (the paper: "the
+	// frequency of the core is defined by the offline thread").
+	if err := m.SetOnline(64, false); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 20*sim.Millisecond)
+	if f := m.EffectiveMHz(0); f != 2500 {
+		t.Fatalf("offline sibling released the core to %v MHz", f)
+	}
+	// Setting the offline thread's frequency down frees the core.
+	if err := m.SetThreadFrequencyMHz(64, 1500); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 20*sim.Millisecond)
+	if f := m.EffectiveMHz(0); f != 1500 {
+		t.Fatalf("core still at %v MHz", f)
+	}
+}
+
+func TestFirestarterEndToEnd(t *testing.T) {
+	// Fig. 6, full stack: EDC throttling to ~2.03 GHz (SMT), ~509 W AC,
+	// ~170 W RAPL per package.
+	m := newMachine()
+	if err := m.SetAllFrequenciesMHz(2500); err != nil {
+		t.Fatal(err)
+	}
+	for th := 0; th < m.Top.NumThreads(); th++ {
+		if _, err := m.StartKernel(soc.ThreadID(th), workload.Firestarter, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle(m, 200*sim.Millisecond) // converge
+	m.Preheat()
+
+	// Sample frequency and power over 1 s.
+	var freqs, watts []float64
+	for i := 0; i < 100; i++ {
+		settle(m, 10*sim.Millisecond)
+		freqs = append(freqs, m.EffectiveMHz(0))
+		watts = append(watts, m.SystemWatts())
+	}
+	meanF, meanW := mean(freqs), mean(watts)
+	if meanF < 2000 || meanF > 2060 {
+		t.Fatalf("FIRESTARTER frequency %v MHz, want ~2030", meanF)
+	}
+	if math.Abs(meanW-509) > 10 {
+		t.Fatalf("FIRESTARTER power %v W, want ~509", meanW)
+	}
+
+	// RAPL package reading ~170 W (known to under-report vs 180 W TDP).
+	e0 := m.RAPL.PackageEnergyJoules(0)
+	t0 := m.Eng.Now()
+	settle(m, 1*sim.Second)
+	raplW := (m.RAPL.PackageEnergyJoules(0) - e0) / m.Eng.Now().Sub(t0).Seconds()
+	if math.Abs(raplW-170) > 8 {
+		t.Fatalf("RAPL package %v W, want ~170", raplW)
+	}
+	if raplW >= 180 {
+		t.Fatal("RAPL package reading must stay below the 180 W TDP")
+	}
+}
+
+func TestFirestarterIPC(t *testing.T) {
+	m := newMachine()
+	if err := m.SetAllFrequenciesMHz(2500); err != nil {
+		t.Fatal(err)
+	}
+	for th := 0; th < m.Top.NumThreads(); th++ {
+		if _, err := m.StartKernel(soc.ThreadID(th), workload.Firestarter, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle(m, 200*sim.Millisecond)
+	c0 := m.ReadCounters(0)
+	c64 := m.ReadCounters(64)
+	settle(m, 1*sim.Second)
+	c1 := m.ReadCounters(0)
+	c65 := m.ReadCounters(64)
+	coreInstr := (c1.Instructions - c0.Instructions) + (c65.Instructions - c64.Instructions)
+	coreCycles := c1.Cycles - c0.Cycles
+	ipc := coreInstr / coreCycles
+	if math.Abs(ipc-3.56) > 0.05 {
+		t.Fatalf("SMT core IPC %v, want 3.56", ipc)
+	}
+}
+
+func TestCountersHaltInIdle(t *testing.T) {
+	m := newMachine()
+	settle(m, 100*sim.Millisecond)
+	a := m.ReadCounters(3)
+	settle(m, 100*sim.Millisecond)
+	b := m.ReadCounters(3)
+	if b.Cycles != a.Cycles || b.Aperf != a.Aperf || b.Mperf != a.Mperf {
+		t.Fatal("cycles/aperf/mperf advanced in C2")
+	}
+	if b.TSC <= a.TSC {
+		t.Fatal("TSC must always advance")
+	}
+}
+
+func TestCountersRunWhenActive(t *testing.T) {
+	m := newMachine()
+	if err := m.SetThreadFrequencyMHz(0, 2200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartKernel(0, workload.Busywait, 0); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 20*sim.Millisecond)
+	a := m.ReadCounters(0)
+	settle(m, 1*sim.Second)
+	b := m.ReadCounters(0)
+	ghz := (b.Cycles - a.Cycles) / 1e9
+	if math.Abs(ghz-2.2) > 0.01 {
+		t.Fatalf("cycle rate %v GHz, want 2.2", ghz)
+	}
+	mperfGHz := (b.Mperf - a.Mperf) / 1e9
+	if math.Abs(mperfGHz-2.5) > 0.01 {
+		t.Fatalf("mperf rate %v GHz, want nominal 2.5", mperfGHz)
+	}
+}
+
+func TestWakeLatencies(t *testing.T) {
+	m := newMachine()
+	if err := m.SetAllFrequenciesMHz(2500); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 20*sim.Millisecond)
+	// Thread 1 is idle in C2.
+	lat := m.WakeLatency(1, false)
+	if lat.Micros() < 20 || lat.Micros() > 25 {
+		t.Fatalf("C2 wake %v µs, want 20–25", lat.Micros())
+	}
+	remote := m.WakeLatency(1, true)
+	if remote-lat != 1*sim.Microsecond {
+		t.Fatalf("remote extra %v", remote-lat)
+	}
+	// StartKernel returns the same latency and activates the thread.
+	got, err := m.StartKernel(1, workload.Busywait, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Micros() < 20 || got.Micros() > 25 {
+		t.Fatalf("StartKernel latency %v µs", got.Micros())
+	}
+	if !m.Running(1) {
+		t.Fatal("thread not running after StartKernel")
+	}
+}
+
+func TestMemoryTrafficCapped(t *testing.T) {
+	m := newMachine()
+	if err := m.SetAllFrequenciesMHz(2500); err != nil {
+		t.Fatal(err)
+	}
+	// One core streaming: traffic = Fig. 5a single-core value (auto, 1.6).
+	if _, err := m.StartKernel(0, workload.StreamTriad, 0); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 20*sim.Millisecond)
+	if got := m.TrafficGBs(); math.Abs(got-26.5) > 0.1 {
+		t.Fatalf("1-core stream traffic %v GB/s, want 26.5", got)
+	}
+	// Four cores on one CCX: 38.8 GB/s.
+	for c := 1; c < 4; c++ {
+		if _, err := m.StartKernel(soc.ThreadID(c), workload.StreamTriad, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle(m, 20*sim.Millisecond)
+	if got := m.TrafficGBs(); math.Abs(got-38.8) > 0.1 {
+		t.Fatalf("4-core stream traffic %v GB/s, want 38.8", got)
+	}
+}
+
+func TestIODSettingAffectsLatencyAndPower(t *testing.T) {
+	m := newMachine()
+	if err := m.SetCStateEnabled(0, cstate.C2, false); err != nil { // keep I/O awake
+		t.Fatal(err)
+	}
+	m.SetDRAMClock(iodie.DRAM1467)
+	m.SetIODSetting(iodie.P0)
+	latP0, pwrP0 := m.DRAMLatencyNs(), m.SystemWatts()
+	m.SetIODSetting(iodie.Auto)
+	latAuto := m.DRAMLatencyNs()
+	if latAuto >= latP0 {
+		t.Fatalf("auto latency %v not below P0 %v", latAuto, latP0)
+	}
+	m.SetIODSetting(iodie.P3)
+	if got := m.SystemWatts(); got >= pwrP0 {
+		t.Fatalf("P3 power %v not below P0 %v", got, pwrP0)
+	}
+}
+
+func TestL3LatencyFig4(t *testing.T) {
+	m := newMachine()
+	// Reader at 1.5 GHz, others at 2.5: L3 clock rises, reader's own
+	// effective frequency drops to ~1.428 GHz.
+	if err := m.SetThreadFrequencyMHz(0, 1500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartKernel(0, workload.PointerChase, 0); err != nil {
+		t.Fatal(err)
+	}
+	for c := 1; c < 4; c++ {
+		th := soc.ThreadID(c)
+		if err := m.SetThreadFrequencyMHz(th, 2500); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.StartKernel(th, workload.Busywait, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle(m, 50*sim.Millisecond)
+	got := m.L3LatencyNs(0)
+	if math.Abs(got-21.2) > 0.5 {
+		t.Fatalf("L3 latency %v ns, want ~21.2 (Fig. 4)", got)
+	}
+}
+
+func TestOfflineThreadCannotRun(t *testing.T) {
+	m := newMachine()
+	if err := m.SetOnline(64, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartKernel(64, workload.Busywait, 0); err == nil {
+		t.Fatal("offline thread accepted a kernel")
+	}
+}
+
+func TestEnergyMonotone(t *testing.T) {
+	m := newMachine()
+	var last float64
+	for i := 0; i < 20; i++ {
+		settle(m, 50*sim.Millisecond)
+		e := m.EnergyJoules(m.Eng.Now())
+		if e < last {
+			t.Fatal("AC energy decreased")
+		}
+		last = e
+	}
+	if last < 99.0 {
+		t.Fatalf("1 s idle energy %v J, want ≥ 99", last)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		m := newMachine()
+		m.SetAllFrequenciesMHz(2500)
+		for th := 0; th < 16; th++ {
+			m.StartKernel(soc.ThreadID(th), workload.Firestarter, 0)
+		}
+		settle(m, 300*sim.Millisecond)
+		return m.EnergyJoules(m.Eng.Now())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different energies: %v vs %v", a, b)
+	}
+}
+
+func TestMSRRoundTripThroughMachine(t *testing.T) {
+	m := newMachine()
+	// Command P-state 0 via MSR on cpu 3, observe PStateStat.
+	if err := m.Regs.Write(3, msr.PStateCtl, 0); err != nil {
+		t.Fatal(err)
+	}
+	settle(m, 10*sim.Millisecond)
+	st, err := m.Regs.Read(3, msr.PStateStat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 0 {
+		t.Fatalf("PStateStat %d", st)
+	}
+	// RAPL MSR is readable and in units of 2^-16 J.
+	if _, err := m.Regs.Read(0, msr.PkgEnergyStat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

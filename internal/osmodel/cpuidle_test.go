@@ -1,0 +1,106 @@
+package osmodel
+
+import (
+	"testing"
+
+	"zen2ee/internal/cstate"
+	"zen2ee/internal/machine"
+	"zen2ee/internal/sim"
+	"zen2ee/internal/workload"
+)
+
+func TestSelectIdleState(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	cases := []struct {
+		predicted sim.Duration
+		want      cstate.State
+	}{
+		{500 * sim.Nanosecond, cstate.C1},  // too short even for C1... floor is C1
+		{10 * sim.Microsecond, cstate.C1},  // C2 needs 800 µs predicted
+		{790 * sim.Microsecond, cstate.C1}, // just below the C2 threshold
+		{800 * sim.Microsecond, cstate.C2}, // at the threshold
+		{100 * sim.Millisecond, cstate.C2}, // long sleeps go deep
+	}
+	for _, c := range cases {
+		if got := SelectIdleState(m, 0, c.predicted); got != c.want {
+			t.Errorf("SelectIdleState(%v) = %v, want %v", c.predicted, got, c.want)
+		}
+	}
+}
+
+func TestSelectIdleStateRespectsDisable(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	if err := m.SetCStateEnabled(0, cstate.C2, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := SelectIdleState(m, 0, sim.Second); got != cstate.C1 {
+		t.Fatalf("disabled C2 still selected: %v", got)
+	}
+}
+
+func TestIdleTicksProduceResidualCycles(t *testing.T) {
+	// The paper's §V-A observation: an idling thread reports < 60 000
+	// cycle/s. The residual-tick model reproduces this.
+	m := machine.New(machine.DefaultConfig())
+	if err := m.SetAllFrequenciesMHz(2500); err != nil {
+		t.Fatal(err)
+	}
+	it := DefaultIdleTicks(m)
+	stop := it.Start(5)
+	defer stop()
+
+	before := m.ReadCounters(5)
+	m.Eng.RunFor(2 * sim.Second)
+	after := m.ReadCounters(5)
+	rate := (after.Cycles - before.Cycles) / 2
+	if rate <= 0 {
+		t.Fatal("ticks produced no cycles at all")
+	}
+	if rate >= 60000 {
+		t.Fatalf("idle thread reports %.0f cycle/s, paper bound is 60 000", rate)
+	}
+}
+
+func TestIdleTicksReturnToC2(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	it := DefaultIdleTicks(m)
+	stop := it.Start(7)
+	defer stop()
+	// Between ticks the thread must reside in C2 again (long predicted
+	// idle → menu governor picks the deepest state).
+	m.Eng.RunFor(2*sim.Second + 100*sim.Millisecond)
+	if s := m.CStates.EffectiveState(7); s != cstate.C2 {
+		t.Fatalf("thread parked in %v between ticks, want C2", s)
+	}
+}
+
+func TestIdleTicksSkipRunningThreads(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	it := DefaultIdleTicks(m)
+	stop := it.Start(3)
+	defer stop()
+	// A thread running a kernel is never idled by the tick machinery.
+	if _, err := m.StartKernel(3, workload.Busywait, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Eng.RunFor(1 * sim.Second)
+	if !m.Running(3) {
+		t.Fatal("tick machinery disturbed a running thread")
+	}
+}
+
+func TestIdleTicksNegligiblePowerImpact(t *testing.T) {
+	// 4 wake-ups/s × 5 µs leaves the average power at the deep-sleep floor
+	// (the Fig. 7 baseline was measured exactly like this).
+	m := machine.New(machine.DefaultConfig())
+	it := DefaultIdleTicks(m)
+	stop := it.Start(0, 1, 2, 3)
+	defer stop()
+	e0 := m.EnergyJoules(m.Eng.Now())
+	t0 := m.Eng.Now()
+	m.Eng.RunFor(5 * sim.Second)
+	avg := (m.EnergyJoules(m.Eng.Now()) - e0) / m.Eng.Now().Sub(t0).Seconds()
+	if avg > 99.6 {
+		t.Fatalf("residual ticks raised average idle power to %v W", avg)
+	}
+}

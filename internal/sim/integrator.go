@@ -1,0 +1,72 @@
+package sim
+
+import "fmt"
+
+// EnergyIntegrator accumulates energy (Joules) from a piecewise-constant
+// power signal (Watts). Components update their power on state changes; the
+// integrator folds in power × elapsed-time on every change and on demand.
+//
+// This is the accounting primitive behind both the external AC power meter
+// model and the RAPL counters.
+type EnergyIntegrator struct {
+	lastUpdate Time
+	power      float64 // current power, W
+	energy     float64 // accumulated energy, J
+}
+
+// NewEnergyIntegrator starts integration at time t with power p.
+func NewEnergyIntegrator(t Time, p float64) *EnergyIntegrator {
+	return &EnergyIntegrator{lastUpdate: t, power: p}
+}
+
+// SetPower advances the accumulated energy to time now and switches to the
+// new power level. now must not precede the previous update.
+func (ei *EnergyIntegrator) SetPower(now Time, watts float64) {
+	ei.Advance(now)
+	ei.power = watts
+}
+
+// Advance folds in energy up to time now without changing power.
+func (ei *EnergyIntegrator) Advance(now Time) {
+	if now < ei.lastUpdate {
+		panic(fmt.Sprintf("sim: energy integrator moved backwards: %v < %v", now, ei.lastUpdate))
+	}
+	ei.energy += ei.power * now.Sub(ei.lastUpdate).Seconds()
+	ei.lastUpdate = now
+}
+
+// Power returns the current power level in Watts.
+func (ei *EnergyIntegrator) Power() float64 { return ei.power }
+
+// Energy returns the total energy in Joules accumulated up to time now.
+func (ei *EnergyIntegrator) Energy(now Time) float64 {
+	ei.Advance(now)
+	return ei.energy
+}
+
+// Reset zeroes the accumulated energy (power level is retained).
+func (ei *EnergyIntegrator) Reset(now Time) {
+	ei.Advance(now)
+	ei.energy = 0
+}
+
+// WindowAverager computes average power over a window by two energy reads.
+type WindowAverager struct {
+	startTime   Time
+	startEnergy float64
+}
+
+// Begin marks the start of an averaging window.
+func (w *WindowAverager) Begin(now Time, ei *EnergyIntegrator) {
+	w.startTime = now
+	w.startEnergy = ei.Energy(now)
+}
+
+// End returns the average power since Begin. Returns 0 for an empty window.
+func (w *WindowAverager) End(now Time, ei *EnergyIntegrator) float64 {
+	dt := now.Sub(w.startTime).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return (ei.Energy(now) - w.startEnergy) / dt
+}

@@ -1,0 +1,250 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underpins the Zen 2 power-management model.
+//
+// The engine keeps a virtual clock with nanosecond resolution and an event
+// heap. Components (DVFS state machines, SMU control loops, the OS timer
+// tick, power meters, ...) schedule callbacks on the engine; the engine
+// executes them in strict (time, insertion-order) order, so a simulation with
+// a fixed seed is bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants but for virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros returns the time as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros returns the duration as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Millis returns the duration as floating-point milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1e6 }
+
+func (t Time) String() string     { return fmt.Sprintf("%.6fs", t.Seconds()) }
+func (d Duration) String() string { return fmt.Sprintf("%.3fµs", d.Micros()) }
+
+// DurationFromSeconds converts floating-point seconds to a Duration,
+// rounding to the nearest nanosecond.
+func DurationFromSeconds(s float64) Duration {
+	return Duration(math.Round(s * 1e9))
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among same-time events
+	fn   func()
+	id   uint64
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+// Engine is the discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	nextID  uint64
+	pending map[uint64]*event
+	rng     *RNG
+	// executed counts processed events, mostly for tests and diagnostics.
+	executed uint64
+}
+
+// NewEngine returns an engine with its clock at zero and the given RNG seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		pending: make(map[uint64]*event),
+		rng:     NewRNG(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// ScheduleAt registers fn to run at the absolute virtual time at. Scheduling
+// in the past panics: it always indicates a model bug.
+func (e *Engine) ScheduleAt(at Time, fn func()) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	e.nextID++
+	ev := &event{at: at, seq: e.seq, fn: fn, id: e.nextID}
+	heap.Push(&e.queue, ev)
+	e.pending[ev.id] = ev
+	return EventID(ev.id)
+}
+
+// Schedule registers fn to run after delay d.
+func (e *Engine) Schedule(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or unknown
+// event is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.pending[uint64(id)]
+	if !ok {
+		return false
+	}
+	ev.dead = true
+	delete(e.pending, uint64(id))
+	return true
+}
+
+// step executes the earliest pending event. Returns false if none remain.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		delete(e.pending, ev.id)
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil advances the simulation until the clock reaches t (inclusive of
+// events at exactly t), then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 {
+		// Peek at the head, skipping cancelled entries.
+		head := e.queue[0]
+		if head.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if head.at > t {
+			break
+		}
+		e.step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Drain runs until no events remain or limit events have fired.
+// It returns the number of events executed.
+func (e *Engine) Drain(limit uint64) uint64 {
+	var n uint64
+	for n < limit && e.step() {
+		n++
+	}
+	return n
+}
+
+// PendingEvents returns the number of scheduled (non-cancelled) events.
+func (e *Engine) PendingEvents() int { return len(e.pending) }
+
+// Ticker invokes fn every period, starting at the next multiple of period
+// plus phase (so independent tickers with the same period stay aligned to a
+// grid, which is exactly how the Zen 2 frequency-transition slots behave).
+// It returns a stop function.
+func (e *Engine) Ticker(period Duration, phase Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		// Next grid point strictly after now.
+		next := nextGridPoint(e.now, period, phase)
+		e.ScheduleAt(next, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}
+
+// nextGridPoint returns the smallest time strictly greater than now that is
+// congruent to phase modulo period.
+func nextGridPoint(now Time, period Duration, phase Duration) Time {
+	p := int64(period)
+	ph := ((int64(phase) % p) + p) % p
+	n := int64(now)
+	k := (n - ph) / p
+	for {
+		cand := k*p + ph
+		if cand > n {
+			return Time(cand)
+		}
+		k++
+	}
+}

@@ -1,0 +1,440 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.RunUntil(100)
+	want := []int{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("got %v events, want 3", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event order %v, want %v", got, want)
+			break
+		}
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now() = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.RunUntil(5)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	id := e.Schedule(10, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("Cancel returned true for already-cancelled event")
+	}
+	e.RunUntil(20)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineScheduleInsideEvent(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	e.Schedule(10, func() {
+		times = append(times, e.Now())
+		e.Schedule(5, func() { times = append(times, e.Now()) })
+	})
+	e.RunUntil(100)
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("nested scheduling produced %v, want [10 15]", times)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {})
+	e.RunUntil(50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(20, func() {})
+}
+
+func TestEngineRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.Schedule(10, func() { fired = append(fired, e.Now()) })
+	e.Schedule(20, func() { fired = append(fired, e.Now()) })
+	e.Schedule(21, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("events at t<=20: got %d, want 2 (inclusive boundary)", len(fired))
+	}
+	e.RunUntil(21)
+	if len(fired) != 3 {
+		t.Fatalf("event at 21 not fired after RunUntil(21)")
+	}
+}
+
+func TestTickerGridAlignment(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	stop := e.Ticker(Millisecond, 0, func() { ticks = append(ticks, e.Now()) })
+	e.RunUntil(Time(5 * Millisecond))
+	stop()
+	e.RunUntil(Time(10 * Millisecond))
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5: %v", len(ticks), ticks)
+	}
+	for i, tk := range ticks {
+		if tk != Time((i+1)*int(Millisecond)) {
+			t.Errorf("tick %d at %v, want %v", i, tk, Time((i+1)*int(Millisecond)))
+		}
+	}
+}
+
+func TestTickerPhase(t *testing.T) {
+	e := NewEngine(1)
+	var first Time = -1
+	stop := e.Ticker(Millisecond, 250*Microsecond, func() {
+		if first < 0 {
+			first = e.Now()
+		}
+	})
+	defer stop()
+	e.RunUntil(Time(3 * Millisecond))
+	if first != Time(250*Microsecond) {
+		t.Fatalf("first phased tick at %v, want 250µs", first)
+	}
+}
+
+func TestNextGridPoint(t *testing.T) {
+	cases := []struct {
+		now    Time
+		period Duration
+		phase  Duration
+		want   Time
+	}{
+		{0, 1000, 0, 1000},
+		{999, 1000, 0, 1000},
+		{1000, 1000, 0, 2000},
+		{1500, 1000, 250, 2250},
+		{2250, 1000, 250, 3250},
+		{0, 1000, 250, 250},
+	}
+	for _, c := range cases {
+		if got := nextGridPoint(c.now, c.period, c.phase); got != c.want {
+			t.Errorf("nextGridPoint(%d,%d,%d) = %d, want %d", c.now, c.period, c.phase, got, c.want)
+		}
+	}
+}
+
+func TestNextGridPointProperty(t *testing.T) {
+	f := func(nowRaw uint32, periodRaw uint16, phaseRaw uint16) bool {
+		now := Time(nowRaw)
+		period := Duration(periodRaw%5000) + 1
+		phase := Duration(phaseRaw)
+		g := nextGridPoint(now, period, phase)
+		if g <= now {
+			return false
+		}
+		// congruence check
+		p := int64(period)
+		ph := ((int64(phase) % p) + p) % p
+		return (int64(g)-ph)%p == 0 && int64(g)-int64(now) <= p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGGaussianMoments(t *testing.T) {
+	r := NewRNG(3)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Gaussian(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("gaussian mean %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("gaussian stddev %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestRNGDurationRange(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		d := r.DurationRange(100, 200)
+		if d < 100 || d >= 200 {
+			t.Fatalf("DurationRange out of bounds: %d", d)
+		}
+	}
+	if d := r.DurationRange(50, 50); d != 50 {
+		t.Fatalf("degenerate range: got %d, want 50", d)
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestEnergyIntegratorBasic(t *testing.T) {
+	ei := NewEnergyIntegrator(0, 100) // 100 W
+	got := ei.Energy(Time(Second))
+	if math.Abs(got-100) > 1e-9 {
+		t.Fatalf("1s at 100W = %v J, want 100", got)
+	}
+	ei.SetPower(Time(Second), 50)
+	got = ei.Energy(Time(3 * Second))
+	if math.Abs(got-200) > 1e-9 {
+		t.Fatalf("after 2s at 50W total = %v J, want 200", got)
+	}
+}
+
+func TestEnergyIntegratorReset(t *testing.T) {
+	ei := NewEnergyIntegrator(0, 10)
+	ei.Reset(Time(Second))
+	if e := ei.Energy(Time(Second)); e != 0 {
+		t.Fatalf("energy after reset = %v, want 0", e)
+	}
+	if e := ei.Energy(Time(2 * Second)); math.Abs(e-10) > 1e-9 {
+		t.Fatalf("energy 1s after reset = %v, want 10", e)
+	}
+}
+
+func TestEnergyIntegratorMonotoneProperty(t *testing.T) {
+	// Energy must be non-decreasing for non-negative power, regardless of
+	// the pattern of SetPower calls.
+	f := func(powers []uint8, steps []uint16) bool {
+		ei := NewEnergyIntegrator(0, 0)
+		now := Time(0)
+		last := 0.0
+		for i := 0; i < len(powers) && i < len(steps); i++ {
+			now = now.Add(Duration(steps[i]) + 1)
+			ei.SetPower(now, float64(powers[i]))
+			e := ei.Energy(now)
+			if e < last-1e-12 {
+				return false
+			}
+			last = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyIntegratorBackwardsPanics(t *testing.T) {
+	ei := NewEnergyIntegrator(100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards advance did not panic")
+		}
+	}()
+	ei.Advance(50)
+}
+
+func TestWindowAverager(t *testing.T) {
+	ei := NewEnergyIntegrator(0, 100)
+	var w WindowAverager
+	w.Begin(Time(Second), ei)
+	ei.SetPower(Time(2*Second), 200)
+	avg := w.End(Time(3*Second), ei)
+	if math.Abs(avg-150) > 1e-9 {
+		t.Fatalf("window average = %v, want 150", avg)
+	}
+	var w2 WindowAverager
+	w2.Begin(Time(3*Second), ei)
+	if avg := w2.End(Time(3*Second), ei); avg != 0 {
+		t.Fatalf("empty window average = %v, want 0", avg)
+	}
+}
+
+func TestEngineDeterminismEndToEnd(t *testing.T) {
+	run := func() []uint64 {
+		e := NewEngine(1234)
+		var out []uint64
+		stop := e.Ticker(100*Microsecond, 0, func() {
+			out = append(out, e.RNG().Uint64())
+		})
+		defer stop()
+		e.RunUntil(Time(10 * Millisecond))
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("identical seeds produced different simulations")
+		}
+	}
+}
+
+func TestDrainLimit(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 10; i++ {
+		e.Schedule(Duration(i+1), func() {})
+	}
+	if n := e.Drain(4); n != 4 {
+		t.Fatalf("Drain(4) executed %d", n)
+	}
+	if n := e.Drain(100); n != 6 {
+		t.Fatalf("second Drain executed %d, want 6", n)
+	}
+}
+
+func TestPendingEvents(t *testing.T) {
+	e := NewEngine(1)
+	ids := make([]EventID, 5)
+	for i := range ids {
+		ids[i] = e.Schedule(Duration(i+1)*Millisecond, func() {})
+	}
+	if got := e.PendingEvents(); got != 5 {
+		t.Fatalf("pending = %d, want 5", got)
+	}
+	e.Cancel(ids[0])
+	if got := e.PendingEvents(); got != 4 {
+		t.Fatalf("pending after cancel = %d, want 4", got)
+	}
+	e.RunUntil(Time(10 * Millisecond))
+	if got := e.PendingEvents(); got != 0 {
+		t.Fatalf("pending after run = %d, want 0", got)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(10)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	eq := 0
+	for i := 0; i < 64; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			eq++
+		}
+	}
+	if eq > 2 {
+		t.Fatalf("forked RNGs look correlated: %d/64 equal draws", eq)
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if d := DurationFromSeconds(1.5); d != Duration(1500*Millisecond) {
+		t.Fatalf("DurationFromSeconds(1.5) = %d", d)
+	}
+	if s := (2 * Second).Seconds(); s != 2 {
+		t.Fatalf("Seconds() = %v", s)
+	}
+	if m := (1500 * Nanosecond).Micros(); m != 1.5 {
+		t.Fatalf("Micros() = %v", m)
+	}
+	if ms := (2500 * Microsecond).Millis(); ms != 2.5 {
+		t.Fatalf("Millis() = %v", ms)
+	}
+}
+
+func TestEventHeapIsSorted(t *testing.T) {
+	// Random inserts must drain in sorted order.
+	e := NewEngine(1)
+	r := NewRNG(77)
+	var scheduled []Time
+	for i := 0; i < 500; i++ {
+		at := Time(r.Intn(100000))
+		scheduled = append(scheduled, at)
+		e.ScheduleAt(at, func() {})
+	}
+	sort.Slice(scheduled, func(i, j int) bool { return scheduled[i] < scheduled[j] })
+	var fired []Time
+	e2 := NewEngine(1)
+	for _, at := range scheduled {
+		at := at
+		e2.ScheduleAt(at, func() { fired = append(fired, at) })
+	}
+	e2.RunUntil(Time(200000))
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatal("events fired out of order")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package trace implements the paper's §IV data-collection pipeline: the
+// external power analyzer records out-of-band on a separate system and its
+// samples are "merged with the internal power and performance monitoring in
+// a post-mortem step". This package provides the event recorder for the
+// internal side (frequency changes, C-state transitions, counter samples),
+// clock-offset estimation between the two recordings, and the time-sorted
+// merge — including the misaligned-timestamp handling that motivates the
+// paper's inner-8-of-10 s averaging protocol.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"zen2ee/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+// Event kinds recorded by the internal monitoring.
+const (
+	KindFreqChange Kind = iota
+	KindCStateChange
+	KindPowerSample
+	KindCounterSample
+	KindMarker
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFreqChange:
+		return "freq"
+	case KindCStateChange:
+		return "cstate"
+	case KindPowerSample:
+		return "power"
+	case KindCounterSample:
+		return "counter"
+	case KindMarker:
+		return "marker"
+	}
+	return "?"
+}
+
+// Event is one timestamped record.
+type Event struct {
+	Time  sim.Time
+	Kind  Kind
+	CPU   int // -1 for system-wide events
+	Value float64
+	Label string
+}
+
+// Recorder accumulates events from one clock domain.
+type Recorder struct {
+	Name   string
+	events []Event
+}
+
+// NewRecorder creates a named recorder.
+func NewRecorder(name string) *Recorder { return &Recorder{Name: name} }
+
+// Record appends an event. Events may arrive out of order (different
+// sources flush independently); Sorted() establishes the order.
+func (r *Recorder) Record(e Event) { r.events = append(r.events, e) }
+
+// RecordAt is a convenience for value events.
+func (r *Recorder) RecordAt(t sim.Time, kind Kind, cpu int, value float64, label string) {
+	r.Record(Event{Time: t, Kind: kind, CPU: cpu, Value: value, Label: label})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Sorted returns the events in time order (stable for equal stamps).
+func (r *Recorder) Sorted() []Event {
+	out := append([]Event(nil), r.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Shift returns a copy of the recorder with all timestamps displaced by
+// offset — modelling a recording taken against a different clock.
+func (r *Recorder) Shift(offset sim.Duration) *Recorder {
+	out := NewRecorder(r.Name)
+	for _, e := range r.events {
+		e.Time = e.Time.Add(offset)
+		out.Record(e)
+	}
+	return out
+}
+
+// EstimateOffset estimates the clock offset between two recordings of the
+// same physical quantity (e.g. power) by aligning their largest step edges.
+// It returns the offset to *subtract* from b's timestamps to align it to a.
+// This is the calibration the post-mortem merge needs because the analyzer
+// host's clock is not synchronized to the system under test.
+func EstimateOffset(a, b *Recorder, kind Kind) (sim.Duration, error) {
+	ea := largestStep(a.Sorted(), kind)
+	eb := largestStep(b.Sorted(), kind)
+	if ea == nil || eb == nil {
+		return 0, fmt.Errorf("trace: no %v step edge in one of the recordings", kind)
+	}
+	return eb.Time.Sub(ea.Time), nil
+}
+
+// largestStep finds the event where the value changes the most relative to
+// its predecessor of the same kind.
+func largestStep(events []Event, kind Kind) *Event {
+	var prev *Event
+	var best *Event
+	bestDelta := 0.0
+	for i := range events {
+		e := &events[i]
+		if e.Kind != kind {
+			continue
+		}
+		if prev != nil {
+			if d := math.Abs(e.Value - prev.Value); d > bestDelta {
+				bestDelta = d
+				best = e
+			}
+		}
+		prev = e
+	}
+	return best
+}
+
+// Merge combines recordings into one time-sorted stream, applying a
+// per-recorder clock offset (subtracted from its timestamps).
+func Merge(offsets map[*Recorder]sim.Duration, recorders ...*Recorder) []Event {
+	var out []Event
+	for _, r := range recorders {
+		off := offsets[r]
+		for _, e := range r.Sorted() {
+			e.Time = e.Time.Add(-off)
+			e.Label = r.Name + ":" + e.Label
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// WindowAverage averages value events of one kind inside (t0, t1].
+func WindowAverage(events []Event, kind Kind, t0, t1 sim.Time) (float64, int) {
+	var sum float64
+	n := 0
+	for _, e := range events {
+		if e.Kind == kind && e.Time > t0 && e.Time <= t1 {
+			sum += e.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// Format renders events as an aligned text log (for the CLI/debugging).
+func Format(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		cpu := fmt.Sprint(e.CPU)
+		if e.CPU < 0 {
+			cpu = "sys"
+		}
+		fmt.Fprintf(&b, "%12.6fs  %-8s cpu%-4s %12.3f  %s\n",
+			e.Time.Seconds(), e.Kind, cpu, e.Value, e.Label)
+	}
+	return b.String()
+}

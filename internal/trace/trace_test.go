@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"zen2ee/internal/sim"
+)
+
+func TestSortedStable(t *testing.T) {
+	r := NewRecorder("int")
+	r.RecordAt(30, KindFreqChange, 0, 2500, "a")
+	r.RecordAt(10, KindFreqChange, 0, 1500, "b")
+	r.RecordAt(30, KindFreqChange, 1, 2200, "c")
+	s := r.Sorted()
+	if s[0].Label != "b" || s[1].Label != "a" || s[2].Label != "c" {
+		t.Fatalf("order: %v %v %v", s[0].Label, s[1].Label, s[2].Label)
+	}
+}
+
+func TestEstimateOffsetAndMerge(t *testing.T) {
+	// Internal recording: power step at t = 1 s.
+	internal := NewRecorder("internal")
+	for i := 0; i < 40; i++ {
+		ts := sim.Time(i * 50 * int(sim.Millisecond))
+		v := 100.0
+		if ts >= sim.Time(sim.Second) {
+			v = 300.0
+		}
+		internal.RecordAt(ts, KindPowerSample, -1, v, "model")
+	}
+	// The analyzer sees the same step but its clock runs 230 ms ahead.
+	skew := 230 * sim.Millisecond
+	external := internal.Shift(skew)
+	external.Name = "lmg670"
+
+	off, err := EstimateOffset(internal, external, KindPowerSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != skew {
+		t.Fatalf("estimated offset %v, want %v", off, skew)
+	}
+
+	merged := Merge(map[*Recorder]sim.Duration{external: off}, internal, external)
+	if len(merged) != internal.Len()+external.Len() {
+		t.Fatalf("merged %d events", len(merged))
+	}
+	// After correction both streams agree on the step time: the window
+	// strictly before the 1 s step must average 100 from both sources
+	// (the (t0, t1] window semantics put the step sample itself after it).
+	avg, n := WindowAverage(merged, KindPowerSample, 0, sim.Time(sim.Second)-1)
+	if n == 0 || avg != 100 {
+		t.Fatalf("pre-step average %v over %d samples", avg, n)
+	}
+	avg, _ = WindowAverage(merged, KindPowerSample, sim.Time(sim.Second)-1, sim.Time(2*sim.Second))
+	if avg != 300 {
+		t.Fatalf("post-step average %v", avg)
+	}
+}
+
+func TestEstimateOffsetNoEdge(t *testing.T) {
+	a := NewRecorder("a")
+	b := NewRecorder("b")
+	a.RecordAt(0, KindPowerSample, -1, 100, "")
+	if _, err := EstimateOffset(a, b, KindPowerSample); err == nil {
+		t.Fatal("offset estimation without edges should fail")
+	}
+}
+
+func TestMergeOrderProperty(t *testing.T) {
+	f := func(stamps []uint32) bool {
+		r := NewRecorder("p")
+		for i, s := range stamps {
+			r.RecordAt(sim.Time(s), KindCounterSample, i%4, float64(i), "x")
+		}
+		merged := Merge(nil, r)
+		for i := 1; i < len(merged); i++ {
+			if merged[i].Time < merged[i-1].Time {
+				return false
+			}
+		}
+		return len(merged) == len(stamps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowAverageEmpty(t *testing.T) {
+	if avg, n := WindowAverage(nil, KindPowerSample, 0, 100); avg != 0 || n != 0 {
+		t.Fatal("empty window should be (0, 0)")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := NewRecorder("int")
+	r.RecordAt(sim.Time(1500*sim.Microsecond), KindCStateChange, 3, 2, "enter C2")
+	r.RecordAt(sim.Time(2*sim.Millisecond), KindPowerSample, -1, 180.4, "ac")
+	out := Format(r.Sorted())
+	for _, want := range []string{"cstate", "cpu3", "enter C2", "cpusys", "180.400"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindFreqChange, KindCStateChange, KindPowerSample, KindCounterSample, KindMarker, Kind(99)}
+	want := []string{"freq", "cstate", "power", "counter", "marker", "?"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d = %q", i, k.String())
+		}
+	}
+}

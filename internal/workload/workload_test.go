@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllKernelsValidate(t *testing.T) {
+	for _, k := range All() {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("firestarter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "firestarter" {
+		t.Fatalf("got %q", k.Name)
+	}
+	if _, err := ByName("no-such-kernel"); err == nil {
+		t.Fatal("unknown kernel did not error")
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range All() {
+		if seen[k.Name] {
+			t.Fatalf("duplicate kernel name %q", k.Name)
+		}
+		seen[k.Name] = true
+	}
+}
+
+func TestFig9SetMatchesPaperLabels(t *testing.T) {
+	want := []string{"idle", "addpd", "busywait", "compute", "matmul",
+		"memory_read", "mulpd", "sqrt", "memory_write", "memory_copy"}
+	got := Fig9Set()
+	if len(got) != len(want) {
+		t.Fatalf("Fig9Set has %d kernels, want %d", len(got), len(want))
+	}
+	for i, k := range got {
+		if k.Name != want[i] {
+			t.Errorf("Fig9Set[%d] = %q, want %q", i, k.Name, want[i])
+		}
+	}
+}
+
+func TestFirestarterCalibration(t *testing.T) {
+	// Paper Fig. 6: IPC 3.56 with SMT, 3.23 without.
+	k := Firestarter
+	if k.IPC(2) != 3.56 || k.IPC(1) != 3.23 {
+		t.Fatalf("firestarter IPC = %v/%v", k.IPC(1), k.IPC(2))
+	}
+	// EDC equilibrium consistency: the weights must place the SMT and
+	// non-SMT steady states (2.03 and 2.10 GHz, voltages per the DVFS
+	// table) at the same package current limit.
+	v := func(f float64) float64 { // piecewise voltage interpolation used by dvfs
+		return 0.90 + (f-1.5)/(2.2-1.5)*0.10
+	}
+	iSMT := k.EDCWeight2 * 2.03 * v(2.03)
+	iNoSMT := k.EDCWeight1 * 2.10 * v(2.10)
+	if rel := math.Abs(iSMT-iNoSMT) / iNoSMT; rel > 0.02 {
+		t.Fatalf("EDC weights inconsistent: SMT current %v vs non-SMT %v (rel %.3f)",
+			iSMT, iNoSMT, rel)
+	}
+}
+
+func TestPauseCalibration(t *testing.T) {
+	// Fig. 7: one active pause core at 2.5 GHz adds ~0.33 W, the second
+	// thread ~0.05 W. P = Dyn × f × V² with V(2.5 GHz) = 1.10 V.
+	p1 := Pause.DynWatts * 2.5 * 1.1 * 1.1
+	if math.Abs(p1-0.33) > 0.01 {
+		t.Fatalf("pause single-thread power %v W, want ~0.33", p1)
+	}
+	p2 := p1 * Pause.SMTFactor
+	if math.Abs(p2-0.05) > 0.01 {
+		t.Fatalf("pause second-thread power %v W, want ~0.05", p2)
+	}
+}
+
+func TestVXorpsToggleCalibration(t *testing.T) {
+	// Fig. 10a: 21 W swing across 64 cores.
+	if got := VXorps.ToggleWatts * 64; math.Abs(got-21) > 0.5 {
+		t.Fatalf("vxorps full-system toggle swing %v W, want ~21", got)
+	}
+	// shr swing stays under 0.9 % of ~270 W ≈ 2.4 W.
+	if got := Shr.ToggleWatts * 64; got > 2.4 {
+		t.Fatalf("shr toggle swing %v W exceeds paper bound", got)
+	}
+}
+
+func TestIPCPanicsOnBadThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IPC(3) did not panic")
+		}
+	}()
+	Pause.IPC(3)
+}
+
+func TestEDCWeightSelection(t *testing.T) {
+	if Firestarter.EDCWeight(1) != Firestarter.EDCWeight1 {
+		t.Fatal("EDCWeight(1)")
+	}
+	if Firestarter.EDCWeight(2) != Firestarter.EDCWeight2 {
+		t.Fatal("EDCWeight(2)")
+	}
+}
+
+func TestMemoryKernelsUnderreportedByRAPL(t *testing.T) {
+	// The paper's key RAPL finding: memory-access energy is not fully
+	// captured. Memory kernels must have markedly lower RAPL weights than
+	// compute kernels.
+	for _, k := range []Kernel{MemoryRead, MemoryWrite, MemoryCopy, StreamTriad} {
+		if k.RAPLWeight >= 0.8 {
+			t.Errorf("%s: RAPLWeight %v too high for a memory kernel", k.Name, k.RAPLWeight)
+		}
+	}
+	for _, k := range []Kernel{Compute, Matmul, Firestarter} {
+		if k.RAPLWeight < 0.8 {
+			t.Errorf("%s: RAPLWeight %v too low for a compute kernel", k.Name, k.RAPLWeight)
+		}
+	}
+}
+
+func TestValidateCatchesBadKernels(t *testing.T) {
+	bad := []Kernel{
+		{Name: "", IPC1: 1, IPC2: 1},
+		{Name: "ipc", IPC1: 5, IPC2: 5},
+		{Name: "smt-shrink", IPC1: 2, IPC2: 1},
+		{Name: "neg", IPC1: 1, IPC2: 1, DynWatts: -1},
+		{Name: "rapl", IPC1: 1, IPC2: 1, RAPLWeight: 2},
+		{Name: "edc", IPC1: 1, IPC2: 1, RAPLWeight: 1, EDCWeight1: 2, EDCWeight2: 1},
+	}
+	for _, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("kernel %q validated but should not", k.Name)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package x86energy reimplements the interface of the authors' x86_energy
+// library (the paper's footnote 4: RAPL readouts go through "custom
+// libraries" rather than the msr kernel module): topology-aware enumeration
+// of energy sources, unit conversion from raw counters, overflow-safe
+// sampling, and derived power over sampling intervals.
+//
+// It sits purely on top of the MSR interface, exactly like the real
+// library — so it exercises the same register paths the paper used.
+package x86energy
+
+import (
+	"fmt"
+
+	"zen2ee/internal/msr"
+	"zen2ee/internal/sim"
+	"zen2ee/internal/soc"
+)
+
+// Granularity selects the spatial resolution of a source.
+type Granularity int
+
+// Supported granularities. AMD Zen 2 provides per-core and per-package
+// counters (finer than Intel's per-package pp0).
+const (
+	GranularityCore Granularity = iota
+	GranularityPackage
+)
+
+func (g Granularity) String() string {
+	if g == GranularityCore {
+		return "core"
+	}
+	return "package"
+}
+
+// Source is one readable energy counter.
+type Source struct {
+	Granularity Granularity
+	// Index is the core or package index.
+	Index int
+	// CPU is the logical CPU used to address the MSR.
+	CPU int
+
+	regs  *msr.File
+	unitJ float64
+	last  uint64
+	valid bool
+	// accum accumulates Joules across counter wraps.
+	accum float64
+}
+
+// Tree enumerates all energy sources of a system.
+type Tree struct {
+	Cores    []*Source
+	Packages []*Source
+}
+
+// NewTree builds the source tree from the topology and MSR file. It reads
+// the RAPL unit register once, as the real library does at init.
+func NewTree(top *soc.Topology, regs *msr.File) (*Tree, error) {
+	unitReg, err := regs.Read(0, msr.RAPLPwrUnit)
+	if err != nil {
+		return nil, fmt.Errorf("x86energy: reading RAPL units: %w", err)
+	}
+	unitJ := msr.EnergyUnitJoules(unitReg)
+	t := &Tree{}
+	for _, core := range top.Cores {
+		t.Cores = append(t.Cores, &Source{
+			Granularity: GranularityCore,
+			Index:       int(core.ID),
+			CPU:         int(core.Threads[0]),
+			regs:        regs,
+			unitJ:       unitJ,
+		})
+	}
+	for _, pkg := range top.Packages {
+		cpu := -1
+		for _, core := range top.Cores {
+			if top.PackageOfCore(core.ID) == pkg.ID {
+				cpu = int(core.Threads[0])
+				break
+			}
+		}
+		if cpu < 0 {
+			return nil, fmt.Errorf("x86energy: package %d has no cores", pkg.ID)
+		}
+		t.Packages = append(t.Packages, &Source{
+			Granularity: GranularityPackage,
+			Index:       int(pkg.ID),
+			CPU:         cpu,
+			regs:        regs,
+			unitJ:       unitJ,
+		})
+	}
+	return t, nil
+}
+
+// raw reads the counter register for the source.
+func (s *Source) raw() (uint64, error) {
+	addr := msr.CoreEnergyStat
+	if s.Granularity == GranularityPackage {
+		addr = msr.PkgEnergyStat
+	}
+	return s.regs.Read(s.CPU, addr)
+}
+
+// EnergyJoules returns the monotone accumulated energy, handling the
+// 32-bit counter wrap (at ~65536 J, minutes at package power levels).
+func (s *Source) EnergyJoules() (float64, error) {
+	v, err := s.raw()
+	if err != nil {
+		return 0, err
+	}
+	if !s.valid {
+		s.last = v
+		s.valid = true
+		return s.accum, nil
+	}
+	delta := (v - s.last) & 0xFFFF_FFFF
+	s.last = v
+	s.accum += float64(delta) * s.unitJ
+	return s.accum, nil
+}
+
+// PowerSample is one derived power reading.
+type PowerSample struct {
+	Time  sim.Time
+	Watts float64
+}
+
+// Sampler derives power from successive energy reads of one source.
+type Sampler struct {
+	src        *Source
+	lastEnergy float64
+	lastTime   sim.Time
+	primed     bool
+}
+
+// NewSampler creates a sampler for a source.
+func NewSampler(src *Source) *Sampler { return &Sampler{src: src} }
+
+// Sample reads the source at time now and returns the average power since
+// the previous call (invalid on the first call, ok=false).
+func (sm *Sampler) Sample(now sim.Time) (PowerSample, bool, error) {
+	e, err := sm.src.EnergyJoules()
+	if err != nil {
+		return PowerSample{}, false, err
+	}
+	if !sm.primed {
+		sm.primed = true
+		sm.lastEnergy, sm.lastTime = e, now
+		return PowerSample{}, false, nil
+	}
+	dt := now.Sub(sm.lastTime).Seconds()
+	if dt <= 0 {
+		return PowerSample{}, false, nil
+	}
+	p := PowerSample{Time: now, Watts: (e - sm.lastEnergy) / dt}
+	sm.lastEnergy, sm.lastTime = e, now
+	return p, true, nil
+}
