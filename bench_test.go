@@ -10,6 +10,7 @@ package zen2ee
 // Run with: go test -bench=. -benchmem
 
 import (
+	"runtime"
 	"testing"
 
 	"zen2ee/internal/core"
@@ -150,6 +151,30 @@ func BenchmarkExt7742Throttling(b *testing.B) {
 	runArtifact(b, "ext7742", map[string]string{
 		"rel_7502": "frac/7502", "rel_7742": "frac/7742",
 	})
+}
+
+// --- Scheduler ---
+
+// BenchmarkRunAllSerial and BenchmarkRunAllParallel measure the full-suite
+// wall time through the serial runner and the worker-pool scheduler. The
+// experiments are independent simulations, so the parallel run should scale
+// to ≥2× on 4+ cores (compare ns/op between the two).
+func BenchmarkRunAllSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunAll(core.Options{Scale: 0.1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllParallel(b *testing.B) {
+	workers := runtime.NumCPU()
+	b.ReportMetric(float64(workers), "workers")
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunAllParallel(core.Options{Scale: 0.1, Seed: 1}, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Ablations ---

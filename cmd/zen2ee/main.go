@@ -4,18 +4,23 @@
 // Usage:
 //
 //	zen2ee list                          # list all experiments
-//	zen2ee run <id>|all [-scale S] [-seed N] [-csv]
-//	zen2ee gen-experiments [-scale S]    # emit EXPERIMENTS.md to stdout
+//	zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv]
+//	zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
 //
 // Scale 1 gives quick, statistically meaningful runs; the paper's full
-// protocol corresponds to roughly -scale 25.
+// protocol corresponds to roughly -scale 25. Full-suite runs are fanned
+// out across -parallel worker goroutines (default: all CPUs); results are
+// bit-identical to a serial run for the same seed, and per-experiment
+// progress streams to stderr.
 package main
 
 import (
-	"flag"
+	"errors"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"zen2ee/internal/core"
 	"zen2ee/internal/report"
@@ -50,8 +55,15 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   zen2ee list
-  zen2ee run <id>|all [-scale S] [-seed N] [-csv]
-  zen2ee gen-experiments [-scale S] [-seed N]`)
+  zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv]
+  zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
+
+flags (accepted before or after the positional argument):
+  -scale S     effort scale; the paper's full protocol is ≈ 25 (default 1)
+  -seed N      simulation seed (default 1)
+  -parallel N  worker goroutines for full-suite runs (default: all CPUs;
+               results are identical for every N)
+  -csv         emit rows as CSV instead of aligned tables`)
 }
 
 func list() error {
@@ -62,81 +74,143 @@ func list() error {
 	return nil
 }
 
-func experimentFlags(args []string) (core.Options, bool, []string, error) {
-	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	scale := fs.Float64("scale", 1, "effort scale (paper-full ≈ 25)")
-	seed := fs.Uint64("seed", 1, "simulation seed")
-	csv := fs.Bool("csv", false, "emit rows as CSV")
-	// Allow flags after the positional argument.
-	var pos []string
-	var flagArgs []string
-	for _, a := range args {
-		if strings.HasPrefix(a, "-") || len(flagArgs) > 0 && needsValue(flagArgs[len(flagArgs)-1]) {
-			flagArgs = append(flagArgs, a)
-		} else {
-			pos = append(pos, a)
-		}
-	}
-	if err := fs.Parse(flagArgs); err != nil {
-		return core.Options{}, false, nil, err
-	}
-	return core.Options{Scale: *scale, Seed: *seed}, *csv, pos, nil
+// experimentFlags holds the parsed flags shared by run and gen-experiments.
+type experimentFlags struct {
+	opts     core.Options
+	csv      bool
+	parallel int // worker count; 0 means runtime.NumCPU()
+	pos      []string
 }
 
-func needsValue(flagTok string) bool {
-	switch strings.TrimLeft(flagTok, "-") {
-	case "scale", "seed":
-		return !strings.Contains(flagTok, "=")
+// parseExperimentArgs scans args in a single pass, accepting flags before
+// and after positional arguments and all three spellings uniformly:
+// `-flag value`, `-flag=value`, and the boolean `-csv`. Unknown flags are a
+// usage error rather than silently becoming positional arguments.
+func parseExperimentArgs(args []string) (experimentFlags, error) {
+	f := experimentFlags{opts: core.DefaultOptions()}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "--" {
+			// Conventional end-of-flags marker: the rest is positional.
+			f.pos = append(f.pos, args[i+1:]...)
+			break
+		}
+		if !strings.HasPrefix(a, "-") || a == "-" {
+			f.pos = append(f.pos, a)
+			continue
+		}
+		name := strings.TrimLeft(a, "-")
+		val, hasVal := "", false
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			name, val, hasVal = name[:eq], name[eq+1:], true
+		}
+		takeValue := func() (string, error) {
+			if hasVal {
+				return val, nil
+			}
+			if i+1 >= len(args) {
+				return "", fmt.Errorf("needs a value")
+			}
+			i++
+			return args[i], nil
+		}
+		var err error
+		switch name {
+		case "scale":
+			var v string
+			if v, err = takeValue(); err == nil {
+				f.opts.Scale, err = strconv.ParseFloat(v, 64)
+			}
+		case "seed":
+			var v string
+			if v, err = takeValue(); err == nil {
+				f.opts.Seed, err = strconv.ParseUint(v, 10, 64)
+			}
+		case "parallel":
+			var v string
+			if v, err = takeValue(); err == nil {
+				f.parallel, err = strconv.Atoi(v)
+				if err == nil && f.parallel < 1 {
+					err = fmt.Errorf("must be >= 1")
+				}
+			}
+		case "csv":
+			f.csv = true
+			if hasVal {
+				f.csv, err = strconv.ParseBool(val)
+			}
+		default:
+			return f, fmt.Errorf("unknown flag -%s (see 'zen2ee help')", name)
+		}
+		if err != nil {
+			return f, fmt.Errorf("flag -%s: %v", name, err)
+		}
 	}
-	return false
+	return f, nil
+}
+
+// runSuite fans the full suite out across the requested workers, streaming
+// per-experiment completion lines to stderr so stdout stays parseable.
+func runSuite(f experimentFlags) ([]*core.Result, error) {
+	return core.RunAllParallelProgress(f.opts, f.parallel, func(p core.Progress) {
+		status := "ok"
+		if p.Err != nil {
+			status = "FAILED: " + p.Err.Error()
+		}
+		fmt.Fprintf(os.Stderr, "[%2d/%d] %-10s %-8s %s\n",
+			p.Done, p.Total, p.ID, p.Elapsed.Round(100*time.Microsecond), status)
+	})
 }
 
 func run(args []string) error {
-	opts, csv, pos, err := experimentFlags(args)
+	f, err := parseExperimentArgs(args)
 	if err != nil {
 		return err
 	}
-	if len(pos) != 1 {
+	if len(f.pos) != 1 {
 		return fmt.Errorf("run needs exactly one experiment id (or 'all')")
 	}
 	var results []*core.Result
-	if pos[0] == "all" {
-		results, err = core.RunAll(opts)
+	if f.pos[0] == "all" {
+		results, err = runSuite(f)
 		if err != nil {
-			return err
+			// Partial results still print below; main reports the joined
+			// error once after them (the progress stream already flagged
+			// each failure as it happened).
+			fmt.Fprintln(os.Stderr, "zen2ee: some experiments failed, printing partial results")
 		}
 	} else {
-		e, err := core.ByID(pos[0])
-		if err != nil {
-			return err
-		}
-		r, err := e.Run(opts)
+		r, err := core.RunOne(f.pos[0], f.opts)
 		if err != nil {
 			return err
 		}
 		results = append(results, r)
 	}
 	for _, r := range results {
-		if csv {
-			if err := report.WriteCSV(os.Stdout, r); err != nil {
-				return err
+		if f.csv {
+			if werr := report.WriteCSV(os.Stdout, r); werr != nil {
+				// Keep the suite failures visible even if stdout breaks.
+				return errors.Join(err, werr)
 			}
 		} else {
 			fmt.Println(r.Table())
 		}
 	}
-	return nil
+	return err
 }
 
 func genExperiments(args []string) error {
-	opts, _, _, err := experimentFlags(args)
+	f, err := parseExperimentArgs(args)
 	if err != nil {
 		return err
 	}
-	results, err := core.RunAll(opts)
+	if len(f.pos) != 0 {
+		return fmt.Errorf("gen-experiments takes no positional arguments")
+	}
+	results, err := runSuite(f)
 	if err != nil {
 		return err
 	}
-	_, err = report.WriteMarkdown(os.Stdout, results, opts)
+	_, err = report.WriteMarkdown(os.Stdout, results, f.opts)
 	return err
 }

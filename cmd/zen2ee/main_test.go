@@ -1,0 +1,62 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"zen2ee/internal/core"
+)
+
+func TestParseExperimentArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want experimentFlags
+	}{
+		{"flags before positional", []string{"-scale", "2", "all"},
+			experimentFlags{opts: opts(2, 1), pos: []string{"all"}}},
+		{"flags after positional", []string{"all", "-scale=2"},
+			experimentFlags{opts: opts(2, 1), pos: []string{"all"}}},
+		{"equals and space forms mixed", []string{"-seed=9", "fig3", "-scale", "0.5"},
+			experimentFlags{opts: opts(0.5, 9), pos: []string{"fig3"}}},
+		{"boolean csv", []string{"all", "-csv"},
+			experimentFlags{opts: opts(1, 1), csv: true, pos: []string{"all"}}},
+		{"csv with explicit value", []string{"-csv=false", "all"},
+			experimentFlags{opts: opts(1, 1), pos: []string{"all"}}},
+		{"parallel", []string{"run-free", "-parallel", "4"},
+			experimentFlags{opts: opts(1, 1), parallel: 4, pos: []string{"run-free"}}},
+		{"double dash flags", []string{"--scale", "3", "all"},
+			experimentFlags{opts: opts(3, 1), pos: []string{"all"}}},
+		{"end-of-flags marker", []string{"-scale", "2", "--", "-weird-id"},
+			experimentFlags{opts: opts(2, 1), pos: []string{"-weird-id"}}},
+	}
+	for _, c := range cases {
+		got, err := parseExperimentArgs(c.args)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: got %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func opts(scale float64, seed uint64) core.Options {
+	return core.Options{Scale: scale, Seed: seed}
+}
+
+func TestParseExperimentArgsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus", "all"},          // unknown flag must not become positional
+		{"all", "-scale"},          // missing value
+		{"-scale", "two", "all"},   // non-numeric value
+		{"-parallel", "0", "all"},  // workers below 1
+		{"-parallel", "-1", "all"}, // negative workers
+		{"-csv=maybe", "all"},      // bad boolean
+	} {
+		if _, err := parseExperimentArgs(args); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

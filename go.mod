@@ -1,0 +1,3 @@
+module zen2ee
+
+go 1.24

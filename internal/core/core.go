@@ -13,6 +13,9 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
+
+	"zen2ee/internal/sim"
 )
 
 // Options controls experiment effort.
@@ -49,6 +52,10 @@ type Comparison struct {
 	// RelTol is the acceptable relative deviation for the reproduction to
 	// count as matching the paper's shape.
 	RelTol float64
+	// AbsTol is the acceptable absolute deviation when Paper is zero, where
+	// a relative tolerance is meaningless (any nonzero measurement would be
+	// infinitely off). It is ignored for nonzero paper values.
+	AbsTol float64
 }
 
 // Deviation returns the relative deviation from the paper value.
@@ -62,9 +69,24 @@ func (c Comparison) Deviation() float64 {
 	return (c.Measured - c.Paper) / math.Abs(c.Paper)
 }
 
+// DeviationCell renders the deviation for tables: the relative percentage
+// when the paper value is nonzero, the absolute delta otherwise (a relative
+// deviation from zero is ±Inf and unprintable).
+func (c Comparison) DeviationCell() string {
+	if c.Paper == 0 && c.Measured != 0 {
+		return fmt.Sprintf("Δ%+.3g %s", c.Measured, c.Unit)
+	}
+	return fmt.Sprintf("%+.1f%%", 100*c.Deviation())
+}
+
 // OK reports whether the measured value reproduces the paper value within
-// tolerance.
-func (c Comparison) OK() bool { return math.Abs(c.Deviation()) <= c.RelTol }
+// tolerance. Zero paper values fall back to the absolute tolerance.
+func (c Comparison) OK() bool {
+	if c.Paper == 0 {
+		return math.Abs(c.Measured) <= c.AbsTol
+	}
+	return math.Abs(c.Deviation()) <= c.RelTol
+}
 
 // Result is an experiment outcome.
 type Result struct {
@@ -82,6 +104,10 @@ type Result struct {
 	Series map[string][]float64
 	// Comparisons drive EXPERIMENTS.md and the integration tests.
 	Comparisons []Comparison
+
+	// Elapsed is the wall-clock time the experiment took when it was run
+	// through RunAll/RunAllParallel (zero for direct Experiment.Run calls).
+	Elapsed time.Duration
 }
 
 func newResult(id, title, ref string) *Result {
@@ -101,6 +127,14 @@ func (r *Result) note(format string, args ...any) {
 func (r *Result) compare(name, unit string, paper, measured, relTol float64) {
 	r.Comparisons = append(r.Comparisons, Comparison{
 		Name: name, Unit: unit, Paper: paper, Measured: measured, RelTol: relTol,
+	})
+}
+
+// compareAbs records a comparison against a zero (or near-zero) paper value,
+// where only an absolute tolerance is meaningful.
+func (r *Result) compareAbs(name, unit string, paper, measured, absTol float64) {
+	r.Comparisons = append(r.Comparisons, Comparison{
+		Name: name, Unit: unit, Paper: paper, Measured: measured, AbsTol: absTol,
 	})
 }
 
@@ -157,8 +191,8 @@ func (r *Result) Table() string {
 			if !c.OK() {
 				mark = "DEVIATES"
 			}
-			fmt.Fprintf(&b, "  %-42s paper %10.3f %-8s measured %10.3f  (%+.1f%%) %s\n",
-				c.Name, c.Paper, c.Unit, c.Measured, 100*c.Deviation(), mark)
+			fmt.Fprintf(&b, "  %-42s paper %10.3f %-8s measured %10.3f  (%s) %s\n",
+				c.Name, c.Paper, c.Unit, c.Measured, c.DeviationCell(), mark)
 		}
 	}
 	return b.String()
@@ -208,14 +242,29 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
 }
 
-// RunAll executes every experiment and returns results in paper order.
+// perExperiment returns the options an individual experiment receives when
+// scheduled as part of the full suite: the run seed is replaced by an
+// independent stream derived from (seed, experiment ID), so every experiment
+// draws from its own RNG stream and results are invariant to execution
+// order and worker count. RunAll and RunAllParallel share this derivation,
+// which is what makes their outputs bit-identical.
+func (o Options) perExperiment(id string) Options {
+	o.Seed = sim.DeriveSeed(o.Seed, id)
+	return o
+}
+
+// RunAll executes every experiment serially and returns results in paper
+// order, aborting on the first failure. It is the workers==1 reference for
+// RunAllParallel and produces bit-identical results.
 func RunAll(o Options) ([]*Result, error) {
 	var out []*Result
 	for _, e := range Registry() {
-		r, err := e.Run(o)
+		start := time.Now()
+		r, err := e.Run(o.perExperiment(e.ID))
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", e.ID, err)
 		}
+		r.Elapsed = time.Since(start)
 		out = append(out, r)
 	}
 	return out, nil

@@ -265,7 +265,27 @@ func TestComparisonEdgeCases(t *testing.T) {
 	}
 	c2 := Comparison{Paper: 0, Measured: 1, RelTol: 0.5}
 	if c2.OK() {
-		t.Error("0 vs 1 should deviate infinitely")
+		t.Error("0 vs 1 without an absolute tolerance should fail")
+	}
+	// Zero paper values fall back to the absolute tolerance: a relative
+	// tolerance can never be met (the deviation is ±Inf).
+	c3 := Comparison{Paper: 0, Measured: 0.005, RelTol: 0.5, AbsTol: 0.01}
+	if !c3.OK() {
+		t.Error("0 vs 0.005 within AbsTol 0.01 should be OK")
+	}
+	c4 := Comparison{Paper: 0, Measured: -0.02, AbsTol: 0.01}
+	if c4.OK() {
+		t.Error("0 vs -0.02 outside AbsTol 0.01 should fail")
+	}
+	// Tables must not render "+Inf%" for zero-paper comparisons.
+	if cell := c2.DeviationCell(); strings.Contains(cell, "Inf") {
+		t.Errorf("deviation cell leaks Inf: %q", cell)
+	}
+	if cell := c3.DeviationCell(); !strings.Contains(cell, "Δ") {
+		t.Errorf("zero-paper deviation should render as absolute delta, got %q", cell)
+	}
+	if cell := (Comparison{Paper: 10, Measured: 10.5}).DeviationCell(); cell != "+5.0%" {
+		t.Errorf("relative deviation cell %q, want +5.0%%", cell)
 	}
 }
 

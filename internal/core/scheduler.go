@@ -1,0 +1,137 @@
+// The concurrent experiment-execution engine. Every registered experiment
+// is an independent deterministic simulation (its own machine, its own RNG
+// stream derived from the run seed), so the suite is embarrassingly
+// parallel: a worker pool fans the experiments out across goroutines,
+// collects whatever succeeds, joins the failures into one error, and still
+// reports results in paper order.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Progress is one scheduler event, emitted when an experiment finishes
+// (successfully or not). Events arrive in completion order, which under
+// parallel execution is not paper order.
+type Progress struct {
+	// ID and Index identify the experiment (Index is its paper-order
+	// position in the scheduled set).
+	ID    string
+	Index int
+	// Done counts finished experiments including this one; Total is the
+	// size of the scheduled set.
+	Done, Total int
+	// Elapsed is the experiment's wall-clock time.
+	Elapsed time.Duration
+	// Err is non-nil if the experiment failed.
+	Err error
+}
+
+// RunAllParallel executes every registered experiment across a pool of
+// `workers` goroutines (runtime.NumCPU() if workers <= 0). Unlike RunAll it
+// does not abort on failure: it returns every successful Result in paper
+// order plus a joined error covering the failures, so one broken experiment
+// costs one table, not the run. Results are bit-identical to RunAll's for
+// the same Options.
+func RunAllParallel(o Options, workers int) ([]*Result, error) {
+	return RunAllParallelProgress(o, workers, nil)
+}
+
+// RunAllParallelProgress is RunAllParallel with a per-experiment completion
+// callback for progress display. The callback is serialized (never invoked
+// concurrently) and must not block for long: it stalls a worker.
+func RunAllParallelProgress(o Options, workers int, progress func(Progress)) ([]*Result, error) {
+	return runSet(Registry(), o, workers, progress)
+}
+
+// RunOne executes a single experiment by ID with the same derived
+// per-experiment seed it receives in a full-suite run, so a lone rerun of
+// one experiment reproduces its RunAll/RunAllParallel section exactly.
+func RunOne(id string, o Options) (*Result, error) {
+	e, err := ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r, err := e.Run(o.perExperiment(e.ID))
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", e.ID, err)
+	}
+	r.Elapsed = time.Since(start)
+	return r, nil
+}
+
+// runSet is the scheduler core, operating on an explicit experiment set so
+// tests can inject failing or panicking experiments without touching the
+// global registry.
+func runSet(exps []Experiment, o Options, workers int, progress func(Progress)) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	results := make([]*Result, len(exps))
+	errs := make([]error, len(exps))
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes the progress callback and done counter
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e := exps[i]
+				start := time.Now()
+				r, err := runGuarded(e, o.perExperiment(e.ID))
+				elapsed := time.Since(start)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: %s: %w", e.ID, err)
+				} else {
+					r.Elapsed = elapsed
+					results[i] = r
+				}
+				if progress != nil {
+					mu.Lock()
+					done++
+					progress(Progress{
+						ID: e.ID, Index: i, Done: done, Total: len(exps),
+						Elapsed: elapsed, Err: errs[i],
+					})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := make([]*Result, 0, len(exps))
+	for _, r := range results {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// runGuarded converts an experiment panic into an error so one broken
+// experiment cannot take down the whole pool.
+func runGuarded(e Experiment, o Options) (r *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = nil, fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return e.Run(o)
+}

@@ -3,6 +3,7 @@ package report
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"zen2ee/internal/core"
 )
@@ -67,6 +68,49 @@ func TestWriteMarkdown(t *testing.T) {
 	}
 	if sum.Total == 0 || sum.OK != sum.Total {
 		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestMarkdownIndexAndWallTime(t *testing.T) {
+	r := sampleResult(t)
+	r.Elapsed = 12345 * time.Microsecond
+	var b strings.Builder
+	if _, err := WriteMarkdown(&b, []*core.Result{r}, core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"| experiment | paper ref | checks ok | wall time |",
+		"| [sec6acpi](#sec6acpi) |",
+		`<a id="sec6acpi"></a>`,
+		"12.3ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// A result that never went through the scheduler has no timing.
+	r.Elapsed = 0
+	b.Reset()
+	if _, err := WriteMarkdown(&b, []*core.Result{r}, core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "| – |") {
+		t.Error("zero wall time should render as –")
+	}
+}
+
+func TestMarkdownZeroPaperComparison(t *testing.T) {
+	r := sampleResult(t)
+	r.Comparisons = append(r.Comparisons, core.Comparison{
+		Name: "zero-paper", Unit: "W", Paper: 0, Measured: 0.5, AbsTol: 1,
+	})
+	var b strings.Builder
+	if _, err := WriteMarkdown(&b, []*core.Result{r}, core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Inf") {
+		t.Fatal("markdown renders an infinite deviation")
 	}
 }
 

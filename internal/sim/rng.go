@@ -89,3 +89,29 @@ func (r *RNG) Gaussian(mean, stddev float64) float64 {
 func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64() | 1)
 }
+
+// DeriveSeed maps a (base seed, label) pair to an independent stream seed:
+// the label is FNV-1a-hashed, XORed into the seed, and passed through the
+// splitmix64 finalizer. The result depends only on its inputs, so callers
+// scheduling labeled work concurrently (e.g. one experiment per goroutine)
+// get the same streams regardless of execution order.
+func DeriveSeed(seed uint64, label string) uint64 {
+	const (
+		fnvOffset = 0xCBF29CE484222325
+		fnvPrime  = 0x100000001B3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnvPrime
+	}
+	z := seed ^ h
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	return z
+}

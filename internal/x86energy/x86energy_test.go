@@ -90,6 +90,9 @@ func TestSamplerMatchesModelPower(t *testing.T) {
 }
 
 func TestWrapHandling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates ~8 minutes of full load (~8.5 s wall time)")
+	}
 	// At ~170 W the 32-bit counter (65536 J) wraps after ~385 s. The
 	// accumulated energy must pass through the wrap seamlessly.
 	m, tree := newSystem(t)

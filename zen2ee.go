@@ -356,14 +356,29 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // Experiments lists every registered paper artifact in paper order.
 func Experiments() []Experiment { return core.Registry() }
 
-// RunExperiment executes one paper artifact by ID (e.g. "fig3", "tab1").
+// RunExperiment executes one paper artifact by ID (e.g. "fig3", "tab1"),
+// with the same derived per-experiment seed the suite runners use, so a
+// lone rerun reproduces that experiment's section of the full suite.
 func RunExperiment(id string, o Options) (*Result, error) {
-	e, err := core.ByID(id)
-	if err != nil {
-		return nil, err
-	}
-	return e.Run(o)
+	return core.RunOne(id, o)
 }
 
-// RunAllExperiments executes the full suite.
+// RunAllExperiments executes the full suite serially.
 func RunAllExperiments(o Options) ([]*Result, error) { return core.RunAll(o) }
+
+// Progress re-exports the scheduler's per-experiment completion event.
+type Progress = core.Progress
+
+// RunAllExperimentsParallel executes the full suite across a pool of
+// workers goroutines (all CPUs if workers <= 0). Results are bit-identical
+// to RunAllExperiments for the same Options; failures are joined into one
+// error while the remaining results still come back.
+func RunAllExperimentsParallel(o Options, workers int) ([]*Result, error) {
+	return core.RunAllParallel(o, workers)
+}
+
+// RunAllExperimentsParallelProgress is RunAllExperimentsParallel with a
+// per-experiment completion callback (serialized, must not block).
+func RunAllExperimentsParallelProgress(o Options, workers int, progress func(Progress)) ([]*Result, error) {
+	return core.RunAllParallelProgress(o, workers, progress)
+}
