@@ -10,11 +10,18 @@ package zen2ee
 // Run with: go test -bench=. -benchmem
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 
 	"zen2ee/internal/core"
 	"zen2ee/internal/intelmodel"
+	"zen2ee/internal/service"
 	"zen2ee/internal/sim"
 )
 
@@ -174,6 +181,75 @@ func BenchmarkRunAllParallel(b *testing.B) {
 		if _, err := core.RunAllParallel(core.Options{Scale: 0.1, Seed: 1}, workers); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Service ---
+
+// submitServiceJob posts a job spec to a zen2eed instance and returns the
+// job's content-addressed ID.
+func submitServiceJob(b *testing.B, base, spec string) string {
+	b.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		b.Fatal(err)
+	}
+	if st.ID == "" {
+		b.Fatalf("submission rejected with status %d", resp.StatusCode)
+	}
+	return st.ID
+}
+
+// waitServiceJob blocks on the job's SSE stream, which closes when the job
+// reaches a terminal state.
+func waitServiceJob(b *testing.B, base, id string) {
+	b.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkServiceColdRun measures the daemon's uncached job path end to
+// end over HTTP: submit, stream progress, run the simulation, encode. Each
+// iteration uses a fresh seed so the content-addressed cache never hits.
+func BenchmarkServiceColdRun(b *testing.B) {
+	srv := service.New(service.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := fmt.Sprintf(`{"ids":["sec5a"],"scale":0.2,"seed":%d}`, i+1)
+		waitServiceJob(b, ts.URL, submitServiceJob(b, ts.URL, spec))
+	}
+}
+
+// BenchmarkServiceCachedRun measures the hit path — the "millions of users"
+// traffic shape where identical requests are served from the
+// content-addressed cache without touching the simulator. Compare ns/op
+// against BenchmarkServiceColdRun for the cache's leverage.
+func BenchmarkServiceCachedRun(b *testing.B) {
+	srv := service.New(service.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	const spec = `{"ids":["sec5a"],"scale":0.2,"seed":1}`
+	waitServiceJob(b, ts.URL, submitServiceJob(b, ts.URL, spec))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submitServiceJob(b, ts.URL, spec)
 	}
 }
 

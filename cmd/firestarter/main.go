@@ -7,18 +7,36 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"zen2ee"
 )
 
 func main() {
-	duration := flag.Float64("duration", 2, "simulated run time in seconds")
-	noSMT := flag.Bool("no-smt", false, "load only one hardware thread per core")
-	noEDC := flag.Bool("no-edc", false, "ablate the EDC manager")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0) // -h is a successful help request, not a usage error
+		}
+		fmt.Fprintln(os.Stderr, "firestarter:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the stress-demo body, separated from main so the smoke test can
+// drive a short run against buffers.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("firestarter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	duration := fs.Float64("duration", 2, "simulated run time in seconds")
+	noSMT := fs.Bool("no-smt", false, "load only one hardware thread per core")
+	noEDC := fs.Bool("no-edc", false, "ablate the EDC manager")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var opts []zen2ee.Option
 	if *noEDC {
@@ -26,7 +44,7 @@ func main() {
 	}
 	sys := zen2ee.NewSystem(opts...)
 	if err := sys.SetAllFrequenciesMHz(2500); err != nil {
-		fatal(err)
+		return err
 	}
 
 	loaded := 0
@@ -35,17 +53,17 @@ func main() {
 			break
 		}
 		if err := sys.Run(cpu, "firestarter"); err != nil {
-			fatal(err)
+			return err
 		}
 		loaded++
 	}
-	fmt.Printf("FIRESTARTER on %d hardware threads (%d cores), nominal 2.5 GHz\n\n", loaded, sys.NumCores())
+	fmt.Fprintf(stdout, "FIRESTARTER on %d hardware threads (%d cores), nominal 2.5 GHz\n\n", loaded, sys.NumCores())
 
 	// Converge and warm up.
 	sys.AdvanceMillis(300)
 	sys.Preheat()
 
-	fmt.Printf("%8s  %10s  %8s  %10s  %10s\n", "t [s]", "freq [GHz]", "IPC", "AC [W]", "RAPL0 [W]")
+	fmt.Fprintf(stdout, "%8s  %10s  %8s  %10s  %10s\n", "t [s]", "freq [GHz]", "IPC", "AC [W]", "RAPL0 [W]")
 	steps := int(*duration / 0.2)
 	if steps < 1 {
 		steps = 1
@@ -53,17 +71,18 @@ func main() {
 	for i := 0; i < steps; i++ {
 		st := sys.Stat(0, 100) // advances 100 ms
 		rapl := sys.RAPLPackageWatts(0, 100)
-		fmt.Printf("%8.1f  %10.3f  %8.2f  %10.1f  %10.1f\n",
+		fmt.Fprintf(stdout, "%8.1f  %10.3f  %8.2f  %10.1f  %10.1f\n",
 			sys.NowSeconds(), st.GHz, st.IPC, sys.PowerWatts(), rapl)
 	}
 
-	fmt.Println()
-	fmt.Printf("final: %.3f GHz effective (EDC %s), %.0f W AC, package temperature %.1f °C\n",
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "final: %.3f GHz effective (EDC %s), %.0f W AC, package temperature %.1f °C\n",
 		sys.CoreGHz(0), onOff(!*noEDC), sys.PowerWatts(), sys.TempC())
 	if !*noEDC {
-		fmt.Println("the EDC manager throttles dense 256-bit FMA below nominal — monitor")
-		fmt.Println("frequencies on Rome systems: the actual ranges are undocumented.")
+		fmt.Fprintln(stdout, "the EDC manager throttles dense 256-bit FMA below nominal — monitor")
+		fmt.Fprintln(stdout, "frequencies on Rome systems: the actual ranges are undocumented.")
 	}
+	return nil
 }
 
 func onOff(b bool) string {
@@ -71,9 +90,4 @@ func onOff(b bool) string {
 		return "active"
 	}
 	return "ablated"
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "firestarter:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunShortSession smoke-tests the stress demo's main path: a short run
+// must converge under the EDC manager (below nominal 2.5 GHz) and print the
+// final summary.
+func TestRunShortSession(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-duration", "0.2"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"FIRESTARTER on 128 hardware threads (64 cores)",
+		"RAPL0 [W]",
+		"EDC active",
+		"the EDC manager throttles dense 256-bit FMA below nominal",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunNoSMTLoadsOneThreadPerCore(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-duration", "0.2", "-no-smt"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "FIRESTARTER on 64 hardware threads (64 cores)") {
+		t.Fatalf("-no-smt did not halve the loaded threads:\n%s", out.String())
+	}
+}
+
+func TestRunNoEDC(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-duration", "0.2", "-no-edc"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "EDC ablated") {
+		t.Fatalf("-no-edc not reflected in the summary:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

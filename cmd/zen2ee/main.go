@@ -4,7 +4,7 @@
 // Usage:
 //
 //	zen2ee list                          # list all experiments
-//	zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv]
+//	zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json]
 //	zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
 //
 // Scale 1 gives quick, statistically meaningful runs; the paper's full
@@ -55,7 +55,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   zen2ee list
-  zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv]
+  zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json]
   zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
 
 flags (accepted before or after the positional argument):
@@ -63,7 +63,9 @@ flags (accepted before or after the positional argument):
   -seed N      simulation seed (default 1)
   -parallel N  worker goroutines for full-suite runs (default: all CPUs;
                results are identical for every N)
-  -csv         emit rows as CSV instead of aligned tables`)
+  -csv         emit rows as CSV instead of aligned tables
+  -json        emit the canonical JSON document (identical bytes to what
+               the zen2eed daemon serves for the same spec)`)
 }
 
 func list() error {
@@ -78,6 +80,7 @@ func list() error {
 type experimentFlags struct {
 	opts     core.Options
 	csv      bool
+	jsonOut  bool
 	parallel int // worker count; 0 means runtime.NumCPU()
 	pos      []string
 }
@@ -139,6 +142,11 @@ func parseExperimentArgs(args []string) (experimentFlags, error) {
 			if hasVal {
 				f.csv, err = strconv.ParseBool(val)
 			}
+		case "json":
+			f.jsonOut = true
+			if hasVal {
+				f.jsonOut, err = strconv.ParseBool(val)
+			}
 		default:
 			return f, fmt.Errorf("unknown flag -%s (see 'zen2ee help')", name)
 		}
@@ -170,6 +178,9 @@ func run(args []string) error {
 	if len(f.pos) != 1 {
 		return fmt.Errorf("run needs exactly one experiment id (or 'all')")
 	}
+	if f.csv && f.jsonOut {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
+	}
 	var results []*core.Result
 	if f.pos[0] == "all" {
 		results, err = runSuite(f)
@@ -185,6 +196,15 @@ func run(args []string) error {
 			return err
 		}
 		results = append(results, r)
+	}
+	if f.jsonOut {
+		// The canonical JSON document — byte-identical to what the zen2eed
+		// daemon serves for the same (experiment set, scale, seed), so CLI
+		// and daemon outputs are directly diffable.
+		if werr := report.WriteJSON(os.Stdout, results, f.opts); werr != nil {
+			return errors.Join(err, werr)
+		}
+		return err
 	}
 	for _, r := range results {
 		if f.csv {

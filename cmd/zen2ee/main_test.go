@@ -23,6 +23,10 @@ func TestParseExperimentArgs(t *testing.T) {
 			experimentFlags{opts: opts(1, 1), csv: true, pos: []string{"all"}}},
 		{"csv with explicit value", []string{"-csv=false", "all"},
 			experimentFlags{opts: opts(1, 1), pos: []string{"all"}}},
+		{"boolean json", []string{"all", "-json"},
+			experimentFlags{opts: opts(1, 1), jsonOut: true, pos: []string{"all"}}},
+		{"json with explicit value", []string{"-json=false", "all"},
+			experimentFlags{opts: opts(1, 1), pos: []string{"all"}}},
 		{"parallel", []string{"run-free", "-parallel", "4"},
 			experimentFlags{opts: opts(1, 1), parallel: 4, pos: []string{"run-free"}}},
 		{"double dash flags", []string{"--scale", "3", "all"},
@@ -54,6 +58,7 @@ func TestParseExperimentArgsErrors(t *testing.T) {
 		{"-parallel", "0", "all"},  // workers below 1
 		{"-parallel", "-1", "all"}, // negative workers
 		{"-csv=maybe", "all"},      // bad boolean
+		{"-json=maybe", "all"},     // bad boolean
 	} {
 		if _, err := parseExperimentArgs(args); err == nil {
 			t.Errorf("args %v accepted, want error", args)

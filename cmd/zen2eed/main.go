@@ -1,0 +1,85 @@
+// Command zen2eed is the experiment-serving daemon: an HTTP/JSON front end
+// over the core scheduler with a bounded job queue, a content-addressed
+// result cache with singleflight deduplication, live SSE progress streams,
+// and Prometheus metrics.
+//
+// Usage: zen2eed [-addr :8080] [-executors N] [-queue N] [-cache N]
+//
+//	curl -d '{"ids":["fig3"],"scale":1,"seed":1}' localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/<id>/events        # live SSE progress
+//	curl localhost:8080/v1/jobs/<id>/result        # canonical result JSON
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zen2ee/internal/service"
+)
+
+// options is the parsed command line.
+type options struct {
+	addr string
+	cfg  service.Config
+}
+
+// parseFlags is main's flag handling, separated for testing.
+func parseFlags(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("zen2eed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.cfg.Executors, "executors", 2, "jobs executing concurrently (each fans experiments across all CPUs)")
+	fs.IntVar(&o.cfg.QueueDepth, "queue", 64, "bounded job queue depth; submissions beyond it get 503")
+	fs.IntVar(&o.cfg.CacheEntries, "cache", 256, "content-addressed result cache entries")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() != 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.cfg.Executors < 1 || o.cfg.QueueDepth < 1 || o.cfg.CacheEntries < 1 {
+		return o, fmt.Errorf("-executors, -queue and -cache must be >= 1")
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0) // -h is a successful help request, not a usage error
+		}
+		fmt.Fprintln(os.Stderr, "zen2eed:", err)
+		os.Exit(2)
+	}
+
+	svc := service.New(o.cfg)
+	defer svc.Close()
+	httpServer := &http.Server{Addr: o.addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpServer.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "zen2eed: serving on %s (executors %d, queue %d, cache %d)\n",
+		o.addr, o.cfg.Executors, o.cfg.QueueDepth, o.cfg.CacheEntries)
+	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "zen2eed:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-executors", "4", "-queue", "8", "-cache", "16"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:9999" || o.cfg.Executors != 4 || o.cfg.QueueDepth != 8 || o.cfg.CacheEntries != 16 {
+		t.Fatalf("parsed %+v", o)
+	}
+	if o, err = parseFlags(nil, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8080" || o.cfg.Executors != 2 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"positional"},
+		{"-executors", "0"},
+		{"-queue", "-5"},
+		{"-cache", "0"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

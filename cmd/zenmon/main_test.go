@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunShortSession smoke-tests the monitor's main path: a two-interval
+// session must produce the header plus one line per interval with sane
+// readings.
+func TestRunShortSession(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-intervals", "2", "-threads", "4"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `monitoring cpu0 under "busywait" on 4 threads`) {
+		t.Fatalf("missing session header:\n%s", s)
+	}
+	if !strings.Contains(s, "RAPLpkg[W]") {
+		t.Fatalf("missing column header:\n%s", s)
+	}
+	// Layout: session header, blank, column header, one line per interval.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 output lines for 2 intervals, got %d:\n%s", len(lines), s)
+	}
+}
+
+func TestRunListKernels(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"busywait", "firestarter"} {
+		if !strings.Contains(out.String(), k) {
+			t.Errorf("kernel list missing %q:\n%s", k, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kernel", "nonexistent"},
+		{"-bogus"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

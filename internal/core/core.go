@@ -24,9 +24,9 @@ type Options struct {
 	// statistically meaningful results in seconds of wall time; the paper's
 	// full protocol (100 000 transition samples, 10 s windows, 2-minute
 	// runs) corresponds to Scale ≈ 25 and is available through the CLI.
-	Scale float64
+	Scale float64 `json:"scale"`
 	// Seed feeds the deterministic simulation.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 }
 
 // DefaultOptions returns Scale 1, Seed 1.
@@ -43,7 +43,9 @@ func (o Options) scaled(n int) int {
 	return v
 }
 
-// Comparison is one paper-vs-measured data point.
+// Comparison is one paper-vs-measured data point. Its JSON form (see
+// json.go) carries the stored fields plus the derived deviation/ok columns,
+// so wire consumers do not reimplement the tolerance rules.
 type Comparison struct {
 	Name     string
 	Unit     string
@@ -90,24 +92,26 @@ func (c Comparison) OK() bool {
 
 // Result is an experiment outcome.
 type Result struct {
-	ID       string
-	Title    string
-	PaperRef string
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	PaperRef string `json:"paper_ref"`
 
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Notes   []string   `json:"notes,omitempty"`
 
 	// Metrics carries machine-checkable scalar outcomes.
-	Metrics map[string]float64
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Series carries raw vectors (histogram counts, scatter coordinates).
-	Series map[string][]float64
+	Series map[string][]float64 `json:"series,omitempty"`
 	// Comparisons drive EXPERIMENTS.md and the integration tests.
-	Comparisons []Comparison
+	Comparisons []Comparison `json:"comparisons,omitempty"`
 
 	// Elapsed is the wall-clock time the experiment took when it was run
 	// through RunAll/RunAllParallel (zero for direct Experiment.Run calls).
-	Elapsed time.Duration
+	// It is the one nondeterministic field; report.MarshalResults clears it
+	// so canonical JSON documents are byte-identical across runs.
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
 }
 
 func newResult(id, title, ref string) *Result {

@@ -1,0 +1,47 @@
+// JSON wire forms. Result serializes through its struct tags (core.go); the
+// Comparison encoding is custom so the wire document carries the derived
+// deviation/ok verdicts next to the stored fields — clients (and humans
+// diffing CLI output against daemon payloads) should not have to
+// reimplement the zero-paper-value tolerance rules. The deviation travels
+// as the rendered cell string because the raw ratio is ±Inf for zero paper
+// values, which JSON cannot encode.
+
+package core
+
+import "encoding/json"
+
+// comparisonJSON is the wire form of Comparison.
+type comparisonJSON struct {
+	Name     string  `json:"name"`
+	Unit     string  `json:"unit,omitempty"`
+	Paper    float64 `json:"paper"`
+	Measured float64 `json:"measured"`
+	RelTol   float64 `json:"rel_tol,omitempty"`
+	AbsTol   float64 `json:"abs_tol,omitempty"`
+	// Deviation and OK are derived on marshal and ignored on unmarshal.
+	Deviation string `json:"deviation"`
+	OK        bool   `json:"ok"`
+}
+
+// MarshalJSON encodes the comparison with its derived verdict columns.
+func (c Comparison) MarshalJSON() ([]byte, error) {
+	return json.Marshal(comparisonJSON{
+		Name: c.Name, Unit: c.Unit, Paper: c.Paper, Measured: c.Measured,
+		RelTol: c.RelTol, AbsTol: c.AbsTol,
+		Deviation: c.DeviationCell(), OK: c.OK(),
+	})
+}
+
+// UnmarshalJSON decodes the stored fields, discarding the derived columns
+// (they are recomputed on demand), so marshal→unmarshal round-trips.
+func (c *Comparison) UnmarshalJSON(b []byte) error {
+	var w comparisonJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*c = Comparison{
+		Name: w.Name, Unit: w.Unit, Paper: w.Paper, Measured: w.Measured,
+		RelTol: w.RelTol, AbsTol: w.AbsTol,
+	}
+	return nil
+}

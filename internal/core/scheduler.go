@@ -49,6 +49,45 @@ func RunAllParallelProgress(o Options, workers int, progress func(Progress)) ([]
 	return runSet(Registry(), o, workers, progress)
 }
 
+// ResolveIDs maps a requested experiment-ID set onto the registry: the
+// returned experiments are deduplicated and in paper order regardless of
+// request order, and an empty request selects the whole registry. This is
+// the canonicalization the service layer's content-addressed cache keys
+// build on — two requests naming the same set in different orders resolve
+// identically. Unknown IDs fail the whole request before any work starts.
+func ResolveIDs(ids []string) ([]Experiment, error) {
+	if len(ids) == 0 {
+		return Registry(), nil
+	}
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if _, err := ByID(id); err != nil {
+			return nil, err
+		}
+		want[id] = true
+	}
+	var out []Experiment
+	for _, e := range Registry() {
+		if want[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// RunIDs executes the named experiments (all of them when ids is empty)
+// through the worker pool, with the same per-experiment derived seeds the
+// full-suite runners use — a job over a subset reproduces exactly those
+// sections of a full run. Like RunAllParallel it returns partial results in
+// paper order plus a joined error for any failures.
+func RunIDs(ids []string, o Options, workers int, progress func(Progress)) ([]*Result, error) {
+	exps, err := ResolveIDs(ids)
+	if err != nil {
+		return nil, err
+	}
+	return runSet(exps, o, workers, progress)
+}
+
 // RunOne executes a single experiment by ID with the same derived
 // per-experiment seed it receives in a full-suite run, so a lone rerun of
 // one experiment reproduces its RunAll/RunAllParallel section exactly.

@@ -86,6 +86,57 @@ func TestRunOneMatchesSuiteSection(t *testing.T) {
 	t.Fatal("fig3 missing from suite results")
 }
 
+func TestResolveIDsCanonicalizes(t *testing.T) {
+	// Request order and repeats must not matter: the resolved set is in
+	// paper order and deduplicated (the property cache keys rely on).
+	a, err := ResolveIDs([]string{"fig3", "fig1", "sec5a", "fig3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range a {
+		got = append(got, e.ID)
+	}
+	if want := []string{"fig1", "sec5a", "fig3"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("resolved %v, want %v", got, want)
+	}
+	all, err := ResolveIDs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Registry()) {
+		t.Fatalf("empty request resolved %d experiments, want the full registry (%d)", len(all), len(Registry()))
+	}
+}
+
+func TestResolveIDsUnknown(t *testing.T) {
+	if _, err := ResolveIDs([]string{"fig1", "nonexistent"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunIDsMatchesSuiteSections(t *testing.T) {
+	// A job over a subset must reproduce exactly those sections of a full
+	// run: same derived seeds, same numbers, paper order.
+	o := Options{Scale: 0.1, Seed: 7}
+	subset, err := RunIDs([]string{"fig3", "fig1"}, o, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) != 2 || subset[0].ID != "fig1" || subset[1].ID != "fig3" {
+		t.Fatalf("subset results wrong: %v", subset)
+	}
+	for _, r := range subset {
+		alone, err := RunOne(r.ID, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r.Metrics, alone.Metrics) {
+			t.Errorf("%s: RunIDs metrics differ from RunOne:\njob   %v\nalone %v", r.ID, r.Metrics, alone.Metrics)
+		}
+	}
+}
+
 func TestRunOneUnknownID(t *testing.T) {
 	if _, err := RunOne("nonexistent", DefaultOptions()); err == nil {
 		t.Fatal("unknown experiment accepted")

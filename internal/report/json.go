@@ -1,0 +1,60 @@
+// The canonical JSON document shared by the zen2ee CLI (-json) and the
+// zen2eed daemon. The encoding is deterministic for a given (experiment
+// set, Scale, Seed): encoding/json sorts map keys, and the one wall-clock
+// field (Result.Elapsed) is cleared before encoding — so two runs of the
+// same spec produce byte-identical documents. The daemon's
+// content-addressed cache and the CLI-vs-daemon diffability both rest on
+// that property.
+
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"zen2ee/internal/core"
+)
+
+// JSONReport is the top-level JSON document.
+type JSONReport struct {
+	// Schema versions the document layout for long-lived clients.
+	Schema  int            `json:"schema"`
+	Options core.Options   `json:"options"`
+	Results []*core.Result `json:"results"`
+}
+
+// JSONSchemaVersion is the current JSONReport layout version.
+const JSONSchemaVersion = 1
+
+// MarshalResults renders a result set as the canonical indented JSON
+// document, clearing per-run wall-clock timing so the bytes depend only on
+// the spec.
+func MarshalResults(results []*core.Result, opts core.Options) ([]byte, error) {
+	doc := JSONReport{
+		Schema:  JSONSchemaVersion,
+		Options: opts,
+		Results: make([]*core.Result, len(results)),
+	}
+	for i, r := range results {
+		// Shallow copy: only the Elapsed scalar changes, the slices and
+		// maps stay shared with the caller's result.
+		c := *r
+		c.Elapsed = 0
+		doc.Results[i] = &c
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON writes the canonical JSON document for a result set.
+func WriteJSON(w io.Writer, results []*core.Result, opts core.Options) error {
+	b, err := MarshalResults(results, opts)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,69 @@
+// The content-addressed result cache. Simulations are deterministic per
+// (experiment set, Scale, Seed) — see the scheduler's derived-seed design —
+// so a result payload is fully determined by its spec hash and can be
+// served forever once computed. The cache stores the marshaled JSON bytes
+// (not the Result structs): hits return the exact bytes the first run
+// produced, which is what makes repeated requests byte-identical.
+
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU of marshaled result payloads keyed by the
+// job spec's content address.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	payload []byte
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{max: max, order: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached payload and refreshes its recency.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// put stores a payload, evicting the least recently used entry when full.
+func (c *resultCache) put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).payload = payload
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, payload: payload})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,235 @@
+// Job model: the canonical job spec with its content address, the job state
+// machine, and the per-job event log that backs the SSE endpoint. A job's
+// identity IS its content address — two requests for the same spec are the
+// same job, which is what gives the daemon singleflight semantics without a
+// separate dedup layer.
+
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"zen2ee/internal/core"
+)
+
+// Spec is a job request: which experiments to run at what effort. The zero
+// value of Scale/Seed means the registry defaults (Scale 1, Seed 1).
+type Spec struct {
+	// IDs selects experiments; empty means the full suite.
+	IDs []string `json:"ids,omitempty"`
+	// Scale and Seed are core.Options (the paper's full protocol is
+	// Scale ≈ 25).
+	Scale float64 `json:"scale,omitempty"`
+	Seed  uint64  `json:"seed,omitempty"`
+	// Workers bounds the job's scheduler worker pool (0 = all CPUs). It is
+	// an execution hint, not part of the job's identity: results are
+	// bit-identical for every worker count.
+	Workers int `json:"workers,omitempty"`
+}
+
+// canonicalize validates the spec and rewrites it into canonical form:
+// defaults applied, IDs deduplicated and in paper order (or nil when they
+// name the whole registry), so equivalent requests hash identically.
+func (s Spec) canonicalize() (Spec, error) {
+	if s.Scale == 0 {
+		s.Scale = core.DefaultOptions().Scale
+	}
+	if s.Scale < 0 {
+		return s, fmt.Errorf("scale must be positive, got %g", s.Scale)
+	}
+	if s.Scale > 100 {
+		return s, fmt.Errorf("scale %g exceeds the service limit of 100 (the paper's full protocol is ≈ 25)", s.Scale)
+	}
+	if s.Seed == 0 {
+		s.Seed = core.DefaultOptions().Seed
+	}
+	if s.Workers < 0 {
+		return s, fmt.Errorf("workers must be >= 0, got %d", s.Workers)
+	}
+	exps, err := core.ResolveIDs(s.IDs)
+	if err != nil {
+		return s, err
+	}
+	if len(exps) == len(core.Registry()) {
+		s.IDs = nil
+	} else {
+		ids := make([]string, len(exps))
+		for i, e := range exps {
+			ids[i] = e.ID
+		}
+		s.IDs = ids
+	}
+	return s, nil
+}
+
+// options returns the core run options the spec describes.
+func (s Spec) options() core.Options { return core.Options{Scale: s.Scale, Seed: s.Seed} }
+
+// key is the spec's content address: a hash over the canonical experiment
+// set, Scale, and Seed. Workers is deliberately excluded (see Spec.Workers).
+func (s Spec) key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "ids=%s;scale=%s;seed=%d",
+		strings.Join(s.IDs, ","), strconv.FormatFloat(s.Scale, 'g', -1, 64), s.Seed)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// State is a job lifecycle stage.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// event is one SSE frame: a named event with a JSON payload.
+type event struct {
+	name string
+	data []byte
+}
+
+// job is one accepted spec working through the queue. The event log is kept
+// for the job's lifetime so late SSE subscribers replay the full stream.
+type job struct {
+	id   string // content address; also the cache key
+	spec Spec
+
+	mu       sync.Mutex
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	payload  []byte // canonical result JSON once done
+	errMsg   string
+	cached   bool // payload came from the cache, no simulation ran
+
+	events []event
+	subs   map[chan event]struct{}
+}
+
+func newJob(spec Spec) *job {
+	return &job{
+		id: spec.key(), spec: spec, state: StateQueued,
+		created: time.Now(), subs: map[chan event]struct{}{},
+	}
+}
+
+// terminal reports whether the job has finished (successfully or not).
+func (s State) terminal() bool { return s == StateDone || s == StateFailed }
+
+// publish appends an event to the log and fans it out to live subscribers.
+// Slow subscribers (full channel) skip the live send; they still hold the
+// replayed history and the status endpoint. Terminal events close all
+// subscriber channels.
+func (j *job) publish(name string, payload any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.publishLocked(name, payload)
+}
+
+// publishLocked is publish with j.mu already held. Terminal state
+// transitions use it directly so the state flip and the terminal event
+// land in one critical section — a subscriber can never observe a finished
+// job whose replay history is missing the done/failed event.
+func (j *job) publishLocked(name string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		// Event payloads are service-owned structs; failure here is a
+		// programming error, but must not take down the daemon.
+		data = []byte(`{"error":"event encoding failed"}`)
+	}
+	e := event{name: name, data: data}
+	j.events = append(j.events, e)
+	for ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+	if j.state.terminal() {
+		for ch := range j.subs {
+			close(ch)
+		}
+		j.subs = map[chan event]struct{}{}
+	}
+}
+
+// subscribe returns a copy of the event history plus a live channel. The
+// channel is already closed when the job has finished (replay-only). The
+// returned cancel is idempotent and must be called when the consumer stops.
+func (j *job) subscribe() (history []event, ch chan event, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history = append([]event(nil), j.events...)
+	ch = make(chan event, 64)
+	if j.state.terminal() {
+		close(ch)
+		return history, ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	return history, ch, func() {
+		j.mu.Lock()
+		if _, live := j.subs[ch]; live {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Status is the wire form of a job's state, served by GET /v1/jobs/{id}.
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Spec  Spec   `json:"spec"`
+	// Cached reports that the results were served from the content-
+	// addressed cache without running a simulation.
+	Cached         bool    `json:"cached,omitempty"`
+	CreatedAt      string  `json:"created_at"`
+	StartedAt      string  `json:"started_at,omitempty"`
+	FinishedAt     string  `json:"finished_at,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	Error          string  `json:"error,omitempty"`
+	// Results embeds the canonical report.JSONReport document once done.
+	Results json.RawMessage `json:"results,omitempty"`
+}
+
+// status snapshots the job for the API, optionally embedding the payload.
+func (j *job) status(includeResults bool) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.id, State: j.state, Spec: j.spec, Cached: j.cached,
+		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
+		Error:     j.errMsg,
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+		if !j.started.IsZero() {
+			st.ElapsedSeconds = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	if includeResults && j.state == StateDone {
+		st.Results = json.RawMessage(j.payload)
+	}
+	return st
+}
+
+// result returns the payload bytes once the job is done.
+func (j *job) result() ([]byte, State, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.payload, j.state, j.errMsg
+}

@@ -1,0 +1,120 @@
+// Daemon observability in Prometheus text exposition format, hand-rolled on
+// the stdlib: counters for the job lifecycle and the cache, gauges for live
+// queue state, and a per-experiment latency sum/count pair from which
+// scrapers derive mean experiment wall time. No client library — the format
+// is a few lines of text and the repo is stdlib-only by policy.
+
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latency accumulates a Prometheus summary-style sum/count pair.
+type latency struct {
+	sum   float64 // seconds
+	count uint64
+}
+
+// metrics is the daemon's counter set. All fields are guarded by mu; the
+// handlers and executors update them through the helper methods.
+type metrics struct {
+	mu sync.Mutex
+
+	jobsQueued   uint64 // accepted onto the queue
+	jobsRunning  int    // currently executing (gauge)
+	jobsDone     uint64 // completed successfully
+	jobsFailed   uint64
+	jobsDeduped  uint64 // attached to an identical in-flight job
+	cacheHits    uint64 // served from a completed job or the payload cache
+	cacheMisses  uint64
+	badRequests  uint64
+	queueRejects uint64 // bounded queue was full
+
+	experiments map[string]*latency
+}
+
+func newMetrics() *metrics {
+	return &metrics{experiments: map[string]*latency{}}
+}
+
+func (m *metrics) add(field *uint64, delta uint64) {
+	m.mu.Lock()
+	*field += delta
+	m.mu.Unlock()
+}
+
+func (m *metrics) addRunning(delta int) {
+	m.mu.Lock()
+	m.jobsRunning += delta
+	m.mu.Unlock()
+}
+
+// observeExperiment records one experiment completion inside a job.
+func (m *metrics) observeExperiment(id string, d time.Duration) {
+	m.mu.Lock()
+	l := m.experiments[id]
+	if l == nil {
+		l = &latency{}
+		m.experiments[id] = l
+	}
+	l.sum += d.Seconds()
+	l.count++
+	m.mu.Unlock()
+}
+
+// gauges carries point-in-time values owned by other components, sampled at
+// scrape time.
+type gauges struct {
+	queueDepth, queueCap, cacheEntries, cacheCap int
+}
+
+// write renders the exposition document. Label sets are emitted in sorted
+// order so scrapes are diffable.
+func (m *metrics) write(w io.Writer, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name,
+			strconv.FormatFloat(v, 'g', -1, 64))
+	}
+
+	counter("zen2eed_jobs_queued_total", "Jobs accepted onto the run queue.", m.jobsQueued)
+	counter("zen2eed_jobs_completed_total", "Jobs that finished successfully.", m.jobsDone)
+	counter("zen2eed_jobs_failed_total", "Jobs that finished with an error.", m.jobsFailed)
+	counter("zen2eed_jobs_deduplicated_total", "Requests attached to an identical in-flight job instead of enqueuing a duplicate.", m.jobsDeduped)
+	counter("zen2eed_cache_hits_total", "Requests served from a completed job or the result cache without a new simulation.", m.cacheHits)
+	counter("zen2eed_cache_misses_total", "Requests that required a new simulation run.", m.cacheMisses)
+	counter("zen2eed_bad_requests_total", "Rejected malformed or invalid job requests.", m.badRequests)
+	counter("zen2eed_queue_rejections_total", "Jobs rejected because the bounded queue was full.", m.queueRejects)
+	gauge("zen2eed_jobs_running", "Jobs currently executing.", float64(m.jobsRunning))
+	gauge("zen2eed_queue_depth", "Jobs waiting on the run queue.", float64(g.queueDepth))
+	gauge("zen2eed_queue_capacity", "Bounded run queue capacity.", float64(g.queueCap))
+	gauge("zen2eed_cache_entries", "Result payloads currently cached.", float64(g.cacheEntries))
+	gauge("zen2eed_cache_capacity", "Result cache capacity.", float64(g.cacheCap))
+
+	ids := make([]string, 0, len(m.experiments))
+	for id := range m.experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if len(ids) > 0 {
+		fmt.Fprintf(w, "# HELP zen2eed_experiment_latency_seconds Wall time of individual experiments inside jobs.\n")
+		fmt.Fprintf(w, "# TYPE zen2eed_experiment_latency_seconds summary\n")
+	}
+	for _, id := range ids {
+		l := m.experiments[id]
+		fmt.Fprintf(w, "zen2eed_experiment_latency_seconds_sum{experiment=%q} %s\n",
+			id, strconv.FormatFloat(l.sum, 'g', -1, 64))
+		fmt.Fprintf(w, "zen2eed_experiment_latency_seconds_count{experiment=%q} %d\n", id, l.count)
+	}
+}

@@ -1,0 +1,463 @@
+// Package service is the experiment-serving daemon behind cmd/zen2eed: an
+// HTTP/JSON front end that accepts experiment jobs, executes them through
+// the core worker-pool scheduler on a bounded in-process queue, and serves
+// results from a content-addressed cache.
+//
+// The design leans on one property of the simulation: results are fully
+// determined by (experiment set, Scale, Seed). That makes every job
+// idempotent, so the daemon gives each spec a content-addressed identity
+// and collapses concurrent identical requests onto a single run
+// (singleflight) — under heavy duplicate traffic each distinct simulation
+// executes exactly once and everyone else gets the cached bytes.
+//
+// Endpoints:
+//
+//	POST /v1/jobs               submit {ids, scale, seed, workers}
+//	GET  /v1/jobs/{id}          job status, results embedded when done
+//	GET  /v1/jobs/{id}/result   the canonical result JSON document (bytes
+//	                            are identical across repeated requests)
+//	GET  /v1/jobs/{id}/events   live SSE stream of core.Progress events
+//	GET  /v1/experiments        the experiment registry
+//	GET  /metrics               Prometheus text format
+//	GET  /healthz               liveness probe
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"zen2ee/internal/core"
+	"zen2ee/internal/report"
+)
+
+// Runner executes a job's experiment set; it is core.RunIDs in production
+// and injectable for tests.
+type Runner func(ids []string, o core.Options, workers int, progress func(core.Progress)) ([]*core.Result, error)
+
+// Config sizes the daemon.
+type Config struct {
+	// QueueDepth bounds the number of jobs waiting to run (default 64);
+	// submissions beyond it are rejected with 503 rather than buffered
+	// without limit.
+	QueueDepth int
+	// Executors is the number of jobs executing concurrently (default 2).
+	// Each job internally fans its experiments across a scheduler worker
+	// pool, so a small number of executors already saturates the CPUs.
+	Executors int
+	// CacheEntries bounds the content-addressed result cache (default 256).
+	CacheEntries int
+	// JobHistory bounds the in-memory job table (default 4096); the oldest
+	// finished jobs are evicted first, and their payloads remain available
+	// through the result cache until it too evicts them.
+	JobHistory int
+	// Runner overrides the experiment runner (tests); nil means core.RunIDs.
+	Runner Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Executors <= 0 {
+		c.Executors = 2
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 4096
+	}
+	if c.Runner == nil {
+		c.Runner = core.RunIDs
+	}
+	return c
+}
+
+// Server is the daemon. It implements http.Handler; create it with New and
+// stop its executors with Close.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	queue   chan *job
+	cache   *resultCache
+	metrics *metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string // insertion order, for JobHistory eviction
+
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds a Server and starts its executor goroutines.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheEntries),
+		metrics: newMetrics(),
+		jobs:    map[string]*job{},
+		quit:    make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	for i := 0; i < cfg.Executors; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the executors after their current job; queued jobs stay
+// queued and report their last state.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+// --- Submission and the singleflight path ---
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.metrics.add(&s.metrics.badRequests, 1)
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	spec, err := spec.canonicalize()
+	if err != nil {
+		s.metrics.add(&s.metrics.badRequests, 1)
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	key := spec.key()
+
+	s.mu.Lock()
+	if j, ok := s.jobs[key]; ok && j.currentState() != StateFailed {
+		// Singleflight: an identical job already exists. A finished job is
+		// a cache hit; a live one absorbs this request without a new run.
+		if j.currentState() == StateDone {
+			s.metrics.add(&s.metrics.cacheHits, 1)
+		} else {
+			s.metrics.add(&s.metrics.jobsDeduped, 1)
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, j.status(true))
+		return
+	}
+	if payload, ok := s.cache.get(key); ok {
+		// The job record was evicted but the payload survived: materialize
+		// a completed job from the cache without running anything.
+		j := newJob(spec)
+		j.completeFromCache(payload)
+		s.insertLocked(j)
+		s.metrics.add(&s.metrics.cacheHits, 1)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, j.status(true))
+		return
+	}
+	j := newJob(spec)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.metrics.add(&s.metrics.queueRejects, 1)
+		writeError(w, http.StatusServiceUnavailable,
+			"job queue full (%d waiting); retry later", s.cfg.QueueDepth)
+		return
+	}
+	s.insertLocked(j)
+	s.metrics.add(&s.metrics.cacheMisses, 1)
+	s.metrics.add(&s.metrics.jobsQueued, 1)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+// insertLocked records a job and evicts the oldest finished jobs beyond
+// JobHistory. Callers hold s.mu.
+func (s *Server) insertLocked(j *job) {
+	if _, replacing := s.jobs[j.id]; replacing {
+		// A retry of a failed spec reuses the content address: drop the
+		// old order entry so the id appears exactly once and the new job
+		// takes its place at the young end of the eviction order.
+		for i, id := range s.jobOrder {
+			if id == j.id {
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	if len(s.jobs) <= s.cfg.JobHistory {
+		return
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		old, ok := s.jobs[id]
+		if ok && len(s.jobs) > s.cfg.JobHistory && old.currentState().terminal() && old != j {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// --- Job status, results, SSE ---
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	payload, state, errMsg := j.result()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(payload)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	default:
+		writeError(w, http.StatusConflict, "job is %s; results not ready", state)
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	history, live, cancel := j.subscribe()
+	defer cancel()
+	for _, e := range history {
+		writeSSE(w, e)
+	}
+	flusher.Flush()
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				return // terminal event delivered; stream complete
+			}
+			writeSSE(w, e)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, e event) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.name, e.data)
+}
+
+// --- Registry, metrics, health ---
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type info struct {
+		ID       string `json:"id"`
+		Title    string `json:"title"`
+		PaperRef string `json:"paper_ref"`
+		Bench    string `json:"bench,omitempty"`
+	}
+	var out []info
+	for _, e := range core.Registry() {
+		out = append(out, info{ID: e.ID, Title: e.Title, PaperRef: e.PaperRef, Bench: e.Bench})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, gauges{
+		queueDepth: len(s.queue), queueCap: s.cfg.QueueDepth,
+		cacheEntries: s.cache.len(), cacheCap: s.cfg.CacheEntries,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// --- Execution ---
+
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.execute(j)
+		}
+	}
+}
+
+// progressEvent is the SSE wire form of core.Progress.
+type progressEvent struct {
+	ID             string  `json:"id"`
+	Index          int     `json:"index"`
+	Done           int     `json:"done"`
+	Total          int     `json:"total"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// terminalEvent is the SSE wire form of a job's final state.
+type terminalEvent struct {
+	ID             string  `json:"id"`
+	State          State   `json:"state"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Error          string  `json:"error,omitempty"`
+}
+
+func (s *Server) execute(j *job) {
+	j.setRunning()
+	s.metrics.addRunning(1)
+	defer s.metrics.addRunning(-1)
+
+	results, err := s.cfg.Runner(j.spec.IDs, j.spec.options(), j.spec.Workers,
+		func(p core.Progress) {
+			if p.Err == nil {
+				s.metrics.observeExperiment(p.ID, p.Elapsed)
+			}
+			ev := progressEvent{
+				ID: p.ID, Index: p.Index, Done: p.Done, Total: p.Total,
+				ElapsedSeconds: p.Elapsed.Seconds(),
+			}
+			if p.Err != nil {
+				ev.Error = p.Err.Error()
+			}
+			j.publish("progress", ev)
+		})
+	if err == nil {
+		var payload []byte
+		if payload, err = report.MarshalResults(results, j.spec.options()); err == nil {
+			s.cache.put(j.id, payload)
+			j.setDone(payload)
+			s.metrics.add(&s.metrics.jobsDone, 1)
+			return
+		}
+		err = fmt.Errorf("encoding results: %w", err)
+	}
+	j.setFailed(err)
+	s.metrics.add(&s.metrics.jobsFailed, 1)
+}
+
+// --- job state helpers (here rather than job.go: they pair with execute) ---
+
+func (j *job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// setDone and setFailed flip the job to its terminal state and log the
+// terminal event in one critical section (see publishLocked).
+
+func (j *job) setDone(payload []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.payload = payload
+	j.finished = time.Now()
+	j.publishLocked("done", terminalEvent{
+		ID: j.id, State: StateDone, ElapsedSeconds: j.finished.Sub(j.started).Seconds(),
+	})
+}
+
+func (j *job) setFailed(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateFailed
+	j.errMsg = err.Error()
+	j.finished = time.Now()
+	var elapsed float64
+	if !j.started.IsZero() {
+		elapsed = j.finished.Sub(j.started).Seconds()
+	}
+	j.publishLocked("failed", terminalEvent{
+		ID: j.id, State: StateFailed, ElapsedSeconds: elapsed, Error: j.errMsg,
+	})
+}
+
+// completeFromCache marks a fresh job done with a cached payload and logs
+// the terminal event so SSE subscribers of cache-hit jobs see a stream.
+func (j *job) completeFromCache(payload []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.payload = payload
+	j.cached = true
+	j.started = j.created
+	j.finished = j.created
+	j.publishLocked("done", terminalEvent{ID: j.id, State: StateDone})
+}
+
+// --- HTTP helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode error here means the connection is gone; there is no one
+	// left to report it to.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -382,3 +382,12 @@ func RunAllExperimentsParallel(o Options, workers int) ([]*Result, error) {
 func RunAllExperimentsParallelProgress(o Options, workers int, progress func(Progress)) ([]*Result, error) {
 	return core.RunAllParallelProgress(o, workers, progress)
 }
+
+// RunExperimentSet executes the named experiments (all of them when ids is
+// empty) through the worker-pool scheduler, with the same per-experiment
+// derived seeds the full-suite runners use — a subset run reproduces
+// exactly those sections of a full run. This is the entry point the
+// zen2eed daemon serves jobs through.
+func RunExperimentSet(ids []string, o Options, workers int, progress func(Progress)) ([]*Result, error) {
+	return core.RunIDs(ids, o, workers, progress)
+}
