@@ -184,6 +184,34 @@ func BenchmarkRunAllParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7Monolithic and BenchmarkFig7Sharded measure the tentpole of
+// the shard redesign on its headline case: fig7's C-state enumeration
+// sweep run serially on one goroutine versus fanned shard-by-shard across
+// the worker pool. Both compute byte-identical results; compare ns/op for
+// the intra-experiment speedup (visible on multi-core runners; this dev
+// container has a single CPU).
+func BenchmarkFig7Monolithic(b *testing.B) {
+	e, err := core.ByID("fig7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(core.Options{Scale: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Sharded(b *testing.B) {
+	workers := runtime.NumCPU()
+	b.ReportMetric(float64(workers), "workers")
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunIDs([]string{"fig7"}, core.Options{Scale: 1, Seed: 1}, workers, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Service ---
 
 // submitServiceJob posts a job spec to a zen2eed instance and returns the

@@ -122,7 +122,9 @@ func parseExperimentArgs(args []string) (experimentFlags, error) {
 		case "scale":
 			var v string
 			if v, err = takeValue(); err == nil {
-				f.opts.Scale, err = strconv.ParseFloat(v, 64)
+				if f.opts.Scale, err = strconv.ParseFloat(v, 64); err == nil {
+					err = f.opts.Validate()
+				}
 			}
 		case "seed":
 			var v string
@@ -157,17 +159,26 @@ func parseExperimentArgs(args []string) (experimentFlags, error) {
 	return f, nil
 }
 
-// runSuite fans the full suite out across the requested workers, streaming
-// per-experiment completion lines to stderr so stdout stays parseable.
+// printProgress streams scheduler events to stderr so stdout stays
+// parseable: indented shard lines as a heavy experiment's sweep points
+// complete, and one completion line per experiment.
+func printProgress(p core.Progress) {
+	status := "ok"
+	if p.Err != nil {
+		status = "FAILED: " + p.Err.Error()
+	}
+	if !p.ExperimentDone() {
+		fmt.Fprintf(os.Stderr, "        %-10s shard %2d/%-2d %-20s %-8s %s\n",
+			p.ID, p.Shard, p.Shards, p.Label, p.Elapsed.Round(100*time.Microsecond), status)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[%2d/%d] %-10s %-8s %s\n",
+		p.Done, p.Total, p.ID, p.Elapsed.Round(100*time.Microsecond), status)
+}
+
+// runSuite fans the full suite out across the requested workers.
 func runSuite(f experimentFlags) ([]*core.Result, error) {
-	return core.RunAllParallelProgress(f.opts, f.parallel, func(p core.Progress) {
-		status := "ok"
-		if p.Err != nil {
-			status = "FAILED: " + p.Err.Error()
-		}
-		fmt.Fprintf(os.Stderr, "[%2d/%d] %-10s %-8s %s\n",
-			p.Done, p.Total, p.ID, p.Elapsed.Round(100*time.Microsecond), status)
-	})
+	return core.RunAllParallelProgress(f.opts, f.parallel, printProgress)
 }
 
 func run(args []string) error {
@@ -191,11 +202,13 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "zen2ee: some experiments failed, printing partial results")
 		}
 	} else {
-		r, err := core.RunOne(f.pos[0], f.opts)
+		// Single experiments also go through the shard scheduler, so a
+		// heavy one (fig7, fig8) fans its sweep points across -parallel
+		// workers; results are identical to a serial run.
+		results, err = core.RunIDs([]string{f.pos[0]}, f.opts, f.parallel, printProgress)
 		if err != nil {
 			return err
 		}
-		results = append(results, r)
 	}
 	if f.jsonOut {
 		// The canonical JSON document — byte-identical to what the zen2eed

@@ -55,6 +55,10 @@ func TestParseExperimentArgsErrors(t *testing.T) {
 		{"-bogus", "all"},          // unknown flag must not become positional
 		{"all", "-scale"},          // missing value
 		{"-scale", "two", "all"},   // non-numeric value
+		{"-scale", "0", "all"},     // scale must be positive (Options.Validate)
+		{"-scale", "-2", "all"},    // negative scale
+		{"-scale", "Inf", "all"},   // non-finite scale
+		{"-scale", "NaN", "all"},   // non-finite scale
 		{"-parallel", "0", "all"},  // workers below 1
 		{"-parallel", "-1", "all"}, // negative workers
 		{"-csv=maybe", "all"},      // bad boolean

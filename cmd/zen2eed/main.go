@@ -38,7 +38,7 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.SetOutput(stderr)
 	var o options
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
-	fs.IntVar(&o.cfg.Executors, "executors", 2, "jobs executing concurrently (each fans experiments across all CPUs)")
+	fs.IntVar(&o.cfg.Executors, "executors", 2, "experiment shards simulating concurrently across all jobs (a lone heavy job fans out over the whole pool)")
 	fs.IntVar(&o.cfg.QueueDepth, "queue", 64, "bounded job queue depth; submissions beyond it get 503")
 	fs.IntVar(&o.cfg.CacheEntries, "cache", 256, "content-addressed result cache entries")
 	if err := fs.Parse(args); err != nil {

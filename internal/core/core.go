@@ -32,11 +32,33 @@ type Options struct {
 // DefaultOptions returns Scale 1, Seed 1.
 func DefaultOptions() Options { return Options{Scale: 1, Seed: 1} }
 
-func (o Options) scaled(n int) int {
-	if o.Scale <= 0 {
+// Normalize returns the options with defaults applied: a non-positive or
+// non-finite Scale becomes 1. It is the single place option values are
+// coerced — every internal consumer goes through it, so services that would
+// rather reject bad values than silently patch them can call Validate at
+// their boundary instead.
+func (o Options) Normalize() Options {
+	if o.Scale <= 0 || math.IsNaN(o.Scale) || math.IsInf(o.Scale, 0) {
 		o.Scale = 1
 	}
-	v := int(math.Round(float64(n) * o.Scale))
+	return o
+}
+
+// Validate reports the option values Normalize would have to silently
+// coerce. API boundaries (the zen2eed daemon, the CLI) reject these with an
+// error instead of running a simulation the caller did not ask for.
+func (o Options) Validate() error {
+	if math.IsNaN(o.Scale) || math.IsInf(o.Scale, 0) {
+		return fmt.Errorf("scale must be a finite number, got %v", o.Scale)
+	}
+	if o.Scale <= 0 {
+		return fmt.Errorf("scale must be positive, got %g", o.Scale)
+	}
+	return nil
+}
+
+func (o Options) scaled(n int) int {
+	v := int(math.Round(float64(n) * o.Normalize().Scale))
 	if v < 1 {
 		v = 1
 	}
@@ -202,19 +224,109 @@ func (r *Result) Table() string {
 	return b.String()
 }
 
+// Shard is one independent unit of work within an experiment. Shards of the
+// same experiment must not share mutable state: each builds its own
+// simulated system from the Options it receives (whose Seed is already the
+// shard's derived stream), so the scheduler is free to run them on any
+// worker in any order.
+type Shard struct {
+	// Label names the shard for progress display and error messages
+	// (e.g. "active-2500"). It has no effect on seed derivation.
+	Label string
+	// Run executes the shard and returns its raw output, which the
+	// experiment's Reduce later combines into the Result.
+	Run func(Options) (any, error)
+}
+
+// Reduce combines shard outputs into the experiment's Result. outs[i] is
+// shard i's return value in plan order regardless of completion order, and
+// the Options are the experiment-level ones (not any shard's), so a reducer
+// is deterministic by construction. It runs once, after every shard
+// finished successfully.
+type Reduce func(o Options, outs []any) (*Result, error)
+
 // Experiment is a registered, runnable paper artifact.
+//
+// An experiment takes one of two forms. Monolithic experiments provide Run;
+// the scheduler auto-wraps them as single-shard plans. Sharded experiments
+// provide Plan, exposing their independent units of work (fig7's sweep
+// series, fig8's wake-latency matrix cells) so the scheduler can fan the
+// shards — not just whole experiments — across its worker pool; for these,
+// register synthesizes Run as the serial plan→shards→reduce execution with
+// the same per-shard seed streams the scheduler derives, so monolithic and
+// sharded execution of the same Options compute identical Results.
 type Experiment struct {
 	ID       string
 	Title    string
 	PaperRef string
 	// Bench names the testing.B benchmark regenerating this artifact.
 	Bench string
-	Run   func(Options) (*Result, error)
+	// Run executes the whole experiment on the calling goroutine.
+	Run func(Options) (*Result, error)
+	// Plan decomposes the experiment into independent shards plus the
+	// reducer combining their outputs. Nil for monolithic experiments.
+	Plan func(Options) ([]Shard, Reduce, error)
 }
 
 var registry []Experiment
 
-func register(e Experiment) { registry = append(registry, e) }
+func register(e Experiment) {
+	if e.Run == nil && e.Plan != nil {
+		e.Run = monolithic(e)
+	}
+	registry = append(registry, e)
+}
+
+// shardSeedLabel is the DeriveSeed label for shard i of an experiment: both
+// the scheduler and the synthesized monolithic Run derive shard seeds
+// through it, which is what makes their results identical.
+func shardSeedLabel(id string, i int) string { return fmt.Sprintf("%s/shard/%d", id, i) }
+
+// monolithic synthesizes the serial Run form of a planned experiment: plan,
+// execute the shards in plan order on the calling goroutine with the same
+// per-shard derived seeds the scheduler uses, reduce.
+func monolithic(e Experiment) func(Options) (*Result, error) {
+	return func(o Options) (*Result, error) {
+		shards, reduce, err := planFor(e, o)
+		if err != nil {
+			return nil, err
+		}
+		outs := make([]any, len(shards))
+		for i, s := range shards {
+			so := o
+			so.Seed = sim.DeriveSeed(o.Seed, shardSeedLabel(e.ID, i))
+			if outs[i], err = s.Run(so); err != nil {
+				return nil, fmt.Errorf("shard %d/%d (%s): %w", i+1, len(shards), s.Label, err)
+			}
+		}
+		r, err := reduce(o, outs)
+		if err == nil && r == nil {
+			err = fmt.Errorf("reducer returned no result and no error")
+		}
+		return r, err
+	}
+}
+
+// planFor resolves an experiment to its shard plan: experiments registered
+// with Plan decompose into their own shards; monolithic experiments are
+// auto-wrapped as single-shard plans whose one shard runs Run with the
+// experiment options unchanged (their numbers predate sharding and must not
+// move).
+func planFor(e Experiment, o Options) ([]Shard, Reduce, error) {
+	if e.Plan == nil {
+		run := e.Run
+		return []Shard{{Label: e.ID, Run: func(so Options) (any, error) { return run(so) }}},
+			func(_ Options, outs []any) (*Result, error) { return outs[0].(*Result), nil }, nil
+	}
+	shards, reduce, err := e.Plan(o)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plan: %w", err)
+	}
+	if len(shards) == 0 || reduce == nil {
+		return nil, nil, fmt.Errorf("plan: %d shards, reduce %t — a plan needs at least one shard and a reducer", len(shards), reduce != nil)
+	}
+	return shards, reduce, nil
+}
 
 // Registry lists all experiments in paper order.
 func Registry() []Experiment {

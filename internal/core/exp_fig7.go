@@ -14,7 +14,7 @@ func init() {
 		Title:    "System power vs number of threads not in C2",
 		PaperRef: "Fig. 7 / §VI-A",
 		Bench:    "BenchmarkFig7IdlePowerSweep",
-		Run:      runFig7,
+		Plan:     planFig7,
 	})
 	register(Experiment{
 		ID:       "sec6b",
@@ -32,52 +32,95 @@ func init() {
 	})
 }
 
-func runFig7(o Options) (*Result, error) {
-	r := newResult("fig7", "System power vs number of threads not in C2", "Fig. 7 / §VI-A")
-	r.Columns = []string{"series", "threads", "power [W]"}
+// fig7Dwell is the settle time between sweep steps.
+const fig7Dwell = 2 * sim.Millisecond
 
-	dwell := 2 * sim.Millisecond
+// fig7Freqs are the active-sweep frequencies of the figure.
+var fig7Freqs = []int{1500, 2200, 2500}
 
-	// Baseline: all threads in C2 (package deep sleep).
+// planFig7 decomposes the figure into five independent shards — the all-C2
+// baseline, the 128-step C1 enumeration sweep, and one active (pause) sweep
+// per frequency — each driving its own simulated system, with the reducer
+// reassembling the paper's series, slopes, and comparisons. The C1 and
+// active sweeps are cumulative walks over one machine, so the sweep itself
+// is the smallest independently schedulable unit.
+func planFig7(o Options) ([]Shard, Reduce, error) {
+	shards := []Shard{
+		{Label: "floor", Run: fig7Floor},
+		{Label: "c1-sweep", Run: fig7C1Sweep},
+	}
+	for _, mhz := range fig7Freqs {
+		shards = append(shards, Shard{
+			Label: fmt.Sprintf("active-%d", mhz),
+			Run:   func(so Options) (any, error) { return fig7ActiveSweep(so, mhz) },
+		})
+	}
+	return shards, reduceFig7, nil
+}
+
+// fig7Floor measures the all-C2 package-deep-sleep baseline.
+func fig7Floor(o Options) (any, error) {
 	m := testSystem(o)
 	m.Eng.RunFor(10 * sim.Millisecond)
-	floor := m.SystemWatts()
-	r.addRow("all C2", "0", fmtW(floor))
-	r.Metrics["floor_watts"] = floor
+	return m.SystemWatts(), nil
+}
 
-	// C1 sweep: disable C2 thread by thread in the paper's enumeration
-	// order (first threads per package, then the siblings).
+// fig7C1Sweep disables C2 thread by thread in the paper's enumeration order
+// (first threads per package, then the siblings) and records system power
+// after each step.
+func fig7C1Sweep(o Options) (any, error) {
+	m := testSystem(o)
+	m.Eng.RunFor(10 * sim.Millisecond)
 	order := m.Top.EnumerationOrder()
-	c1Series := make([]float64, 0, len(order))
+	series := make([]float64, 0, len(order))
 	for _, t := range order {
 		if err := m.SetCStateEnabled(t, cstate.C2, false); err != nil {
 			return nil, err
 		}
-		m.Eng.RunFor(dwell)
-		c1Series = append(c1Series, m.SystemWatts())
+		m.Eng.RunFor(fig7Dwell)
+		series = append(series, m.SystemWatts())
 	}
+	return series, nil
+}
+
+// fig7ActiveSweep starts the pause kernel thread by thread at a fixed
+// frequency and records system power after each step.
+func fig7ActiveSweep(o Options, mhz int) ([]float64, error) {
+	m := testSystem(o)
+	if err := m.SetAllFrequenciesMHz(mhz); err != nil {
+		return nil, err
+	}
+	m.Eng.RunFor(20 * sim.Millisecond)
+	order := m.Top.EnumerationOrder()
+	series := make([]float64, 0, len(order))
+	for _, t := range order {
+		if _, err := m.StartKernel(t, workload.Pause, 0); err != nil {
+			return nil, err
+		}
+		m.Eng.RunFor(fig7Dwell)
+		series = append(series, m.SystemWatts())
+	}
+	return series, nil
+}
+
+func reduceFig7(o Options, outs []any) (*Result, error) {
+	r := newResult("fig7", "System power vs number of threads not in C2", "Fig. 7 / §VI-A")
+	r.Columns = []string{"series", "threads", "power [W]"}
+
+	floor := outs[0].(float64)
+	r.addRow("all C2", "0", fmtW(floor))
+	r.Metrics["floor_watts"] = floor
+
+	c1Series := outs[1].([]float64)
 	r.Series["c1_watts"] = c1Series
 	r.Metrics["first_c1_watts"] = c1Series[0]
 	r.addRow("C1", "1", fmtW(c1Series[0]))
 	r.addRow("C1", "64", fmtW(c1Series[63]))
 	r.addRow("C1", "128", fmtW(c1Series[127]))
 
-	// Active (pause) sweeps at the three frequencies.
 	activeSeries := map[int][]float64{}
-	for _, mhz := range []int{1500, 2200, 2500} {
-		ma := testSystem(o)
-		if err := ma.SetAllFrequenciesMHz(mhz); err != nil {
-			return nil, err
-		}
-		ma.Eng.RunFor(20 * sim.Millisecond)
-		series := make([]float64, 0, len(order))
-		for _, t := range ma.Top.EnumerationOrder() {
-			if _, err := ma.StartKernel(t, workload.Pause, 0); err != nil {
-				return nil, err
-			}
-			ma.Eng.RunFor(dwell)
-			series = append(series, ma.SystemWatts())
-		}
+	for i, mhz := range fig7Freqs {
+		series := outs[2+i].([]float64)
 		activeSeries[mhz] = series
 		r.Series[fmt.Sprintf("active_%d_watts", mhz)] = series
 		r.addRow(fmt.Sprintf("active %d MHz", mhz), "1", fmtW(series[0]))

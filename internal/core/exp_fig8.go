@@ -17,7 +17,7 @@ func init() {
 		Title:    "C-state wake-up latencies",
 		PaperRef: "Fig. 8 / §VI-C",
 		Bench:    "BenchmarkFig8WakeupLatency",
-		Run:      runFig8,
+		Plan:     planFig8,
 	})
 }
 
@@ -84,43 +84,77 @@ var paperFig8 = map[cstate.State][3]float64{
 	cstate.C2: {25, 23.1, 22.6},
 }
 
-func runFig8(o Options) (*Result, error) {
+// fig8Combo is one cell of the wake-latency matrix: (C-state, frequency,
+// local/remote caller).
+type fig8Combo struct {
+	state   cstate.State
+	freqIdx int
+	mhz     int
+	remote  bool
+}
+
+// fig8Combos enumerates the matrix in the figure's nested order (state,
+// then frequency, then scope) — the order shards are planned in and the
+// reducer walks.
+func fig8Combos() []fig8Combo {
+	var out []fig8Combo
+	for _, state := range []cstate.State{cstate.C1, cstate.C2} {
+		for fi, mhz := range []int{1500, 2200, 2500} {
+			for _, remote := range []bool{false, true} {
+				out = append(out, fig8Combo{state: state, freqIdx: fi, mhz: mhz, remote: remote})
+			}
+		}
+	}
+	return out
+}
+
+func (c fig8Combo) scope() string {
+	if c.remote {
+		return "remote"
+	}
+	return "local"
+}
+
+// planFig8 shards the wake-latency matrix one cell per shard: every
+// combination already builds its own system and forks its own measurement
+// RNG, so the twelve cells are fully independent simulations.
+func planFig8(o Options) ([]Shard, Reduce, error) {
+	n := o.scaled(50) // paper: 200 samples per combination
+	var shards []Shard
+	for _, c := range fig8Combos() {
+		shards = append(shards, Shard{
+			Label: fmt.Sprintf("%s-%d-%s", c.state, c.mhz, c.scope()),
+			Run: func(so Options) (any, error) {
+				m := testSystem(so)
+				rng := m.Eng.RNG().Fork()
+				callee := soc.ThreadID(2) // core 2, CCX0
+				return wakeSamples(m, rng, callee, c.state, c.mhz, c.remote, n)
+			},
+		})
+	}
+	return shards, reduceFig8, nil
+}
+
+func reduceFig8(o Options, outs []any) (*Result, error) {
 	r := newResult("fig8", "C-state wake-up latencies", "Fig. 8 / §VI-C")
 	r.Columns = []string{"state", "freq [GHz]", "scope", "median [µs]", "q1", "q3"}
 
-	n := o.scaled(50) // paper: 200 samples per combination
-	freqs := []int{1500, 2200, 2500}
-
-	for _, state := range []cstate.State{cstate.C1, cstate.C2} {
-		for fi, mhz := range freqs {
-			for _, remote := range []bool{false, true} {
-				m := testSystem(o)
-				rng := m.Eng.RNG().Fork()
-				callee := soc.ThreadID(2) // core 2, CCX0
-				samples, err := wakeSamples(m, rng, callee, state, mhz, remote, n)
-				if err != nil {
-					return nil, err
-				}
-				box := measure.NewBoxStats(samples)
-				scope := "local"
-				if remote {
-					scope = "remote"
-				}
-				r.addRow(state.String(), fmtGHz(float64(mhz)), scope,
-					fmt.Sprintf("%.2f", box.Median), fmt.Sprintf("%.2f", box.Q1),
-					fmt.Sprintf("%.2f", box.Q3))
-				key := fmt.Sprintf("%s_%d_%s_median_us", state, mhz, scope)
-				r.Metrics[key] = box.Median
-				if !remote {
-					r.compare(fmt.Sprintf("%s wake @ %.1f GHz (local)", state, float64(mhz)/1000),
-						"µs", paperFig8[state][fi], box.Median, 0.12)
-				} else {
-					// Remote adds ~1 µs.
-					local := r.Metrics[fmt.Sprintf("%s_%d_local_median_us", state, mhz)]
-					r.compare(fmt.Sprintf("%s remote extra @ %.1f GHz", state, float64(mhz)/1000),
-						"µs", 1.0, box.Median-local, 0.35)
-				}
-			}
+	for i, c := range fig8Combos() {
+		samples := outs[i].([]float64)
+		box := measure.NewBoxStats(samples)
+		r.addRow(c.state.String(), fmtGHz(float64(c.mhz)), c.scope(),
+			fmt.Sprintf("%.2f", box.Median), fmt.Sprintf("%.2f", box.Q1),
+			fmt.Sprintf("%.2f", box.Q3))
+		key := fmt.Sprintf("%s_%d_%s_median_us", c.state, c.mhz, c.scope())
+		r.Metrics[key] = box.Median
+		if !c.remote {
+			r.compare(fmt.Sprintf("%s wake @ %.1f GHz (local)", c.state, float64(c.mhz)/1000),
+				"µs", paperFig8[c.state][c.freqIdx], box.Median, 0.12)
+		} else {
+			// Remote adds ~1 µs.
+			local := r.Metrics[fmt.Sprintf("%s_%d_local_median_us", c.state, c.mhz)]
+			r.compare(fmt.Sprintf("%s remote extra @ %.1f GHz", c.state, float64(c.mhz)/1000),
+				"µs", 1.0, box.Median-local, 0.35)
 		}
 	}
 

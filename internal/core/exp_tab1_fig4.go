@@ -16,14 +16,14 @@ func init() {
 		Title:    "Applied core frequencies in a mixed-frequency CCX",
 		PaperRef: "Table I",
 		Bench:    "BenchmarkTable1MixedFrequencies",
-		Run:      runTab1,
+		Plan:     planTab1,
 	})
 	register(Experiment{
 		ID:       "fig4",
 		Title:    "L3 cache latency in a mixed-frequency CCX",
 		PaperRef: "Fig. 4",
 		Bench:    "BenchmarkFig4L3Latency",
-		Run:      runFig4,
+		Plan:     planFig4,
 	})
 }
 
@@ -60,20 +60,39 @@ var paperTab1 = [3][3]float64{
 
 var tab1Freqs = []int{1500, 2200, 2500}
 
-func runTab1(o Options) (*Result, error) {
+// planTab1 shards the 3×3 frequency grid one cell per shard (row-major, the
+// order the reducer walks): each cell drives its own mixed-frequency CCX.
+func planTab1(o Options) ([]Shard, Reduce, error) {
+	intervals := o.scaled(12) // paper: 120 s at 1 s sampling
+	var shards []Shard
+	for _, set := range tab1Freqs {
+		for _, others := range tab1Freqs {
+			shards = append(shards, Shard{
+				Label: fmt.Sprintf("set%d-others%d", set, others),
+				Run: func(so Options) (any, error) {
+					m, err := ccxMixedSetup(so, workload.Busywait, set, others)
+					if err != nil {
+						return nil, err
+					}
+					samples := osmodel.PerfStat(m, 0, 250*sim.Millisecond, intervals)
+					return osmodel.MeanFrequencyGHz(samples), nil
+				},
+			})
+		}
+	}
+	return shards, reduceTab1, nil
+}
+
+func reduceTab1(o Options, outs []any) (*Result, error) {
 	r := newResult("tab1", "Applied core frequencies in a mixed-frequency CCX", "Table I")
 	r.Columns = []string{"set [GHz]", "others 1.5", "others 2.2", "others 2.5"}
 
-	intervals := o.scaled(12) // paper: 120 s at 1 s sampling
+	k := 0
 	for si, set := range tab1Freqs {
 		row := []string{fmtGHz(float64(set))}
 		for oi, others := range tab1Freqs {
-			m, err := ccxMixedSetup(o, workload.Busywait, set, others)
-			if err != nil {
-				return nil, err
-			}
-			samples := osmodel.PerfStat(m, 0, 250*sim.Millisecond, intervals)
-			ghz := osmodel.MeanFrequencyGHz(samples)
+			ghz := outs[k].(float64)
+			k++
 			row = append(row, fmt.Sprintf("%.3f", ghz))
 			key := fmt.Sprintf("set%d_others%d", set, others)
 			r.Metrics[key] = ghz
@@ -93,25 +112,46 @@ var paperFig4 = [3][3]float64{
 	{15.2, 15.2, 15.2},
 }
 
-func runFig4(o Options) (*Result, error) {
+// planFig4 shards the 3×3 latency grid one cell per shard (row-major); each
+// cell repeats its pointer-chase setup and reports the minimum, like the
+// paper.
+func planFig4(o Options) ([]Shard, Reduce, error) {
+	reps := o.scaled(3) // paper: several repetitions, minimum reported
+	var shards []Shard
+	for _, reader := range tab1Freqs {
+		for _, others := range tab1Freqs {
+			shards = append(shards, Shard{
+				Label: fmt.Sprintf("reader%d-others%d", reader, others),
+				Run: func(so Options) (any, error) {
+					best := 0.0
+					for rep := 0; rep < reps; rep++ {
+						m, err := ccxMixedSetup(so, workload.PointerChase, reader, others)
+						if err != nil {
+							return nil, err
+						}
+						lat := m.L3LatencyNs(0)
+						if rep == 0 || lat < best {
+							best = lat
+						}
+					}
+					return best, nil
+				},
+			})
+		}
+	}
+	return shards, reduceFig4, nil
+}
+
+func reduceFig4(o Options, outs []any) (*Result, error) {
 	r := newResult("fig4", "L3 cache latency in a mixed-frequency CCX", "Fig. 4")
 	r.Columns = []string{"reader [GHz]", "others 1.5", "others 2.2", "others 2.5"}
 
-	reps := o.scaled(3) // paper: several repetitions, minimum reported
+	k := 0
 	for ri, reader := range tab1Freqs {
 		row := []string{fmtGHz(float64(reader))}
 		for oi, others := range tab1Freqs {
-			best := 0.0
-			for rep := 0; rep < reps; rep++ {
-				m, err := ccxMixedSetup(o, workload.PointerChase, reader, others)
-				if err != nil {
-					return nil, err
-				}
-				lat := m.L3LatencyNs(0)
-				if rep == 0 || lat < best {
-					best = lat
-				}
-			}
+			best := outs[k].(float64)
+			k++
 			row = append(row, fmtNs(best))
 			r.Metrics[fmt.Sprintf("reader%d_others%d_ns", reader, others)] = best
 			r.compare(fmt.Sprintf("reader %.1f / others %.1f GHz", float64(reader)/1000, float64(others)/1000),

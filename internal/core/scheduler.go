@@ -1,9 +1,19 @@
-// The concurrent experiment-execution engine. Every registered experiment
-// is an independent deterministic simulation (its own machine, its own RNG
-// stream derived from the run seed), so the suite is embarrassingly
-// parallel: a worker pool fans the experiments out across goroutines,
-// collects whatever succeeds, joins the failures into one error, and still
-// reports results in paper order.
+// The concurrent experiment-execution engine. The unit of scheduling is the
+// *shard*: every registered experiment resolves to a plan of independent
+// deterministic simulations (its own machines, its own RNG streams derived
+// from the run seed) plus a reducer, so a worker pool fans shards — not
+// whole experiments — across goroutines. A single heavy experiment (fig7's
+// 128-thread sweep, fig8's wake-latency matrix) therefore spreads over the
+// whole pool instead of serializing on one worker, while monolithic
+// experiments ride along as single-shard plans. The pool collects whatever
+// succeeds, joins the failures into one error, and still reports results in
+// paper order.
+//
+// Determinism: shard i of experiment e draws from the stream
+// sim.DeriveSeed(expSeed, "e/shard/i") and reducers see outputs in plan
+// order, so results are byte-identical (through report.MarshalResults) for
+// every worker count and shard interleaving, and identical to the serial
+// monolithic execution of the same Options.
 
 package core
 
@@ -12,24 +22,63 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"zen2ee/internal/sim"
 )
 
-// Progress is one scheduler event, emitted when an experiment finishes
-// (successfully or not). Events arrive in completion order, which under
-// parallel execution is not paper order.
+// Progress is one scheduler event. Two kinds share the struct:
+//
+//   - shard events (Shard in 1..Shards) report one shard of a multi-shard
+//     experiment finishing;
+//   - experiment-completion events (Shard == 0) report a whole experiment
+//     finishing — the events pre-shard consumers were built on. Monolithic
+//     (single-shard) experiments emit only these.
+//
+// Events arrive in completion order, which under parallel execution is
+// neither paper order nor shard order.
 type Progress struct {
 	// ID and Index identify the experiment (Index is its paper-order
 	// position in the scheduled set).
 	ID    string
 	Index int
-	// Done counts finished experiments including this one; Total is the
-	// size of the scheduled set.
+	// Shard and Shards locate a shard event within its experiment's plan:
+	// a shard event carries Shard in 1..Shards; an experiment-completion
+	// event has Shard == 0 (Shards still reports the plan size).
+	Shard, Shards int
+	// Label is the completed shard's plan label (e.g. "active-2500");
+	// empty on experiment-completion events.
+	Label string
+	// Done counts finished experiments (never shards) including this one;
+	// Total is the experiment count of the scheduled set. Shard events
+	// carry the running Done count without incrementing it.
 	Done, Total int
-	// Elapsed is the experiment's wall-clock time.
+	// Elapsed is the shard's wall-clock time on a shard event, and the span
+	// from the experiment's first shard starting to its reduce finishing on
+	// an experiment-completion event.
 	Elapsed time.Duration
-	// Err is non-nil if the experiment failed.
+	// Err is non-nil if the shard (or, on a completion event, any part of
+	// the experiment) failed.
 	Err error
+}
+
+// ExperimentDone reports whether this event marks a whole experiment
+// finishing (as opposed to one shard of it).
+func (p Progress) ExperimentDone() bool { return p.Shard == 0 }
+
+// RunConfig controls how a scheduled run executes. The zero value runs with
+// runtime.NumCPU() workers and no external gating.
+type RunConfig struct {
+	// Workers is the number of scheduler goroutines fanning shards out
+	// (<= 0 means runtime.NumCPU()).
+	Workers int
+	// Acquire, when non-nil, gates every shard execution on an external
+	// worker slot: the scheduler calls Acquire before running a shard and
+	// the returned release when the shard finishes. The zen2eed daemon uses
+	// this to share one executor pool across all concurrently running jobs
+	// while letting a lone job's shards spread over the whole pool.
+	Acquire func() (release func())
 }
 
 // RunAllParallel executes every registered experiment across a pool of
@@ -42,11 +91,16 @@ func RunAllParallel(o Options, workers int) ([]*Result, error) {
 	return RunAllParallelProgress(o, workers, nil)
 }
 
-// RunAllParallelProgress is RunAllParallel with a per-experiment completion
-// callback for progress display. The callback is serialized (never invoked
-// concurrently) and must not block for long: it stalls a worker.
+// RunAllParallelProgress is RunAllParallel with a progress callback
+// receiving shard-level and experiment-completion events.
+//
+// Callback contract: the callback is serialized (never invoked
+// concurrently) on a dedicated emitter goroutine, decoupled from the worker
+// pool through a buffered channel sized to the run's total event count —
+// a slow consumer (a terminal printer, an SSE fan-out) delays only later
+// callbacks, never shard execution.
 func RunAllParallelProgress(o Options, workers int, progress func(Progress)) ([]*Result, error) {
-	return runSet(Registry(), o, workers, progress)
+	return runSet(Registry(), o, RunConfig{Workers: workers}, progress)
 }
 
 // ResolveIDs maps a requested experiment-ID set onto the registry: the
@@ -76,21 +130,29 @@ func ResolveIDs(ids []string) ([]Experiment, error) {
 }
 
 // RunIDs executes the named experiments (all of them when ids is empty)
-// through the worker pool, with the same per-experiment derived seeds the
-// full-suite runners use — a job over a subset reproduces exactly those
-// sections of a full run. Like RunAllParallel it returns partial results in
-// paper order plus a joined error for any failures.
+// through the shard scheduler, with the same derived seeds the full-suite
+// runners use — a job over a subset reproduces exactly those sections of a
+// full run. Like RunAllParallel it returns partial results in paper order
+// plus a joined error for any failures.
 func RunIDs(ids []string, o Options, workers int, progress func(Progress)) ([]*Result, error) {
+	return RunIDsConfig(ids, o, RunConfig{Workers: workers}, progress)
+}
+
+// RunIDsConfig is RunIDs with full scheduling control (worker count plus an
+// optional external slot gate; see RunConfig).
+func RunIDsConfig(ids []string, o Options, cfg RunConfig, progress func(Progress)) ([]*Result, error) {
 	exps, err := ResolveIDs(ids)
 	if err != nil {
 		return nil, err
 	}
-	return runSet(exps, o, workers, progress)
+	return runSet(exps, o, cfg, progress)
 }
 
-// RunOne executes a single experiment by ID with the same derived
-// per-experiment seed it receives in a full-suite run, so a lone rerun of
-// one experiment reproduces its RunAll/RunAllParallel section exactly.
+// RunOne executes a single experiment by ID, monolithically on the calling
+// goroutine, with the same derived per-experiment seed it receives in a
+// full-suite run — and, for planned experiments, the same per-shard derived
+// streams the scheduler uses — so a lone rerun of one experiment reproduces
+// its RunAll/RunAllParallel section exactly.
 func RunOne(id string, o Options) (*Result, error) {
 	e, err := ByID(id)
 	if err != nil {
@@ -105,72 +167,224 @@ func RunOne(id string, o Options) (*Result, error) {
 	return r, nil
 }
 
+// task addresses one shard of one scheduled experiment.
+type task struct {
+	exp, shard int
+}
+
+// expRun tracks one experiment through the shard scheduler.
+type expRun struct {
+	exp    Experiment
+	opts   Options // per-experiment derived options
+	shards []Shard
+	reduce Reduce
+	// planned distinguishes explicit plans (per-shard seed streams) from
+	// auto-wrapped monolithic experiments (options passed through).
+	planned bool
+
+	outs []any   // outs[i] is written only by shard i's worker
+	errs []error // errs[i] likewise
+	// remaining counts unfinished shards; the worker that decrements it to
+	// zero reduces. Its atomicity also publishes the outs/errs writes of
+	// the other workers to the reducing one.
+	remaining atomic.Int32
+	// startNS is the wall-clock instant the first shard started executing
+	// (unix nanoseconds; 0 = not started).
+	startNS atomic.Int64
+
+	result *Result
+	err    error
+}
+
+// shardOptions returns the options shard i receives: explicit plans give
+// every shard its own RNG stream derived from the experiment seed and the
+// shard index, so results are invariant to worker count and interleaving.
+func (er *expRun) shardOptions(i int) Options {
+	o := er.opts
+	if er.planned {
+		o.Seed = sim.DeriveSeed(o.Seed, shardSeedLabel(er.exp.ID, i))
+	}
+	return o
+}
+
+// finalize runs once per experiment, on the worker completing its last
+// shard: it joins shard failures or reduces the outputs into the Result.
+func (er *expRun) finalize() {
+	if err := errors.Join(er.errs...); err != nil {
+		er.err = fmt.Errorf("core: %s: %w", er.exp.ID, err)
+		return
+	}
+	r, err := reduceGuarded(er.reduce, er.opts, er.outs)
+	if err == nil && r == nil {
+		// A (nil, nil) reducer must not crash the worker goroutine; it is
+		// an experiment bug reported like any other failure.
+		err = errors.New("reducer returned no result and no error")
+	}
+	if err != nil {
+		er.err = fmt.Errorf("core: %s: reduce: %w", er.exp.ID, err)
+		return
+	}
+	r.Elapsed = time.Since(time.Unix(0, er.startNS.Load()))
+	er.result = r
+}
+
+func (er *expRun) elapsed() time.Duration {
+	if s := er.startNS.Load(); s != 0 {
+		return time.Since(time.Unix(0, s))
+	}
+	return 0
+}
+
 // runSet is the scheduler core, operating on an explicit experiment set so
 // tests can inject failing or panicking experiments without touching the
 // global registry.
-func runSet(exps []Experiment, o Options, workers int, progress func(Progress)) ([]*Result, error) {
+func runSet(exps []Experiment, o Options, cfg RunConfig, progress func(Progress)) ([]*Result, error) {
+	// Plan phase: resolve every experiment to its shards up front, so the
+	// task channel and the event buffer can be sized exactly and task
+	// submission never blocks a worker.
+	runs := make([]*expRun, len(exps))
+	total := 0
+	for i, e := range exps {
+		er := &expRun{exp: e, opts: o.perExperiment(e.ID), planned: e.Plan != nil}
+		er.shards, er.reduce, er.err = planForGuarded(e, er.opts)
+		if er.err != nil {
+			er.err = fmt.Errorf("core: %s: %w", e.ID, er.err)
+		} else {
+			er.outs = make([]any, len(er.shards))
+			er.errs = make([]error, len(er.shards))
+			er.remaining.Store(int32(len(er.shards)))
+			total += len(er.shards)
+		}
+		runs[i] = er
+	}
+
+	// Progress decoupling (see RunAllParallelProgress): workers send into a
+	// channel with room for every possible event, so emission never blocks
+	// shard execution; one emitter goroutine serializes the callback and
+	// owns the Done counter.
+	emit := func(Progress) {}
+	var emitterDone chan struct{}
+	if progress != nil {
+		events := make(chan Progress, total+len(exps))
+		emitterDone = make(chan struct{})
+		go func() {
+			defer close(emitterDone)
+			done := 0
+			for p := range events {
+				if p.ExperimentDone() {
+					done++
+				}
+				p.Done, p.Total = done, len(exps)
+				progress(p)
+			}
+		}()
+		emit = func(p Progress) { events <- p }
+		defer func() { close(events); <-emitterDone }()
+	}
+
+	// Experiments that failed to plan complete immediately.
+	for i, er := range runs {
+		if er.err != nil {
+			emit(Progress{ID: er.exp.ID, Index: i, Err: er.err})
+		}
+	}
+
+	tasks := make(chan task, total)
+	for i, er := range runs {
+		for s := range er.shards {
+			tasks <- task{exp: i, shard: s}
+		}
+	}
+	close(tasks)
+
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(exps) {
-		workers = len(exps)
+	if workers > total {
+		workers = total
 	}
-	results := make([]*Result, len(exps))
-	errs := make([]error, len(exps))
-
-	jobs := make(chan int)
 	var wg sync.WaitGroup
-	var mu sync.Mutex // serializes the progress callback and done counter
-	done := 0
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				e := exps[i]
+			for t := range tasks {
+				er := runs[t.exp]
+				release := func() {}
+				if cfg.Acquire != nil {
+					release = cfg.Acquire()
+				}
+				er.startNS.CompareAndSwap(0, time.Now().UnixNano())
 				start := time.Now()
-				r, err := runGuarded(e, o.perExperiment(e.ID))
+				out, err := runShardGuarded(er.shards[t.shard], er.shardOptions(t.shard))
+				release()
 				elapsed := time.Since(start)
 				if err != nil {
-					errs[i] = fmt.Errorf("core: %s: %w", e.ID, err)
+					er.errs[t.shard] = fmt.Errorf("shard %d/%d (%s): %w",
+						t.shard+1, len(er.shards), er.shards[t.shard].Label, err)
 				} else {
-					r.Elapsed = elapsed
-					results[i] = r
+					er.outs[t.shard] = out
 				}
-				if progress != nil {
-					mu.Lock()
-					done++
-					progress(Progress{
-						ID: e.ID, Index: i, Done: done, Total: len(exps),
-						Elapsed: elapsed, Err: errs[i],
+				if len(er.shards) > 1 {
+					emit(Progress{
+						ID: er.exp.ID, Index: t.exp,
+						Shard: t.shard + 1, Shards: len(er.shards),
+						Label:   er.shards[t.shard].Label,
+						Elapsed: elapsed, Err: er.errs[t.shard],
 					})
-					mu.Unlock()
+				}
+				if er.remaining.Add(-1) == 0 {
+					er.finalize()
+					emit(Progress{
+						ID: er.exp.ID, Index: t.exp, Shards: len(er.shards),
+						Elapsed: er.elapsed(), Err: er.err,
+					})
 				}
 			}
 		}()
 	}
-	for i := range exps {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 
 	out := make([]*Result, 0, len(exps))
-	for _, r := range results {
-		if r != nil {
-			out = append(out, r)
+	errs := make([]error, len(exps))
+	for i, er := range runs {
+		if er.result != nil {
+			out = append(out, er.result)
 		}
+		errs[i] = er.err
 	}
 	return out, errors.Join(errs...)
 }
 
-// runGuarded converts an experiment panic into an error so one broken
-// experiment cannot take down the whole pool.
-func runGuarded(e Experiment, o Options) (r *Result, err error) {
+// planForGuarded converts a plan panic into an error so one broken planner
+// cannot take down the whole pool.
+func planForGuarded(e Experiment, o Options) (shards []Shard, reduce Reduce, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			shards, reduce, err = nil, nil, fmt.Errorf("plan: panic: %v", p)
+		}
+	}()
+	return planFor(e, o)
+}
+
+// runShardGuarded converts a shard panic into an error so one broken shard
+// cannot take down the whole pool.
+func runShardGuarded(s Shard, o Options) (out any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return s.Run(o)
+}
+
+// reduceGuarded converts a reducer panic into an error.
+func reduceGuarded(reduce Reduce, o Options, outs []any) (r *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			r, err = nil, fmt.Errorf("panic: %v", p)
 		}
 	}()
-	return e.Run(o)
+	return reduce(o, outs)
 }

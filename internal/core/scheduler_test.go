@@ -166,7 +166,7 @@ func TestParallelPartialFailure(t *testing.T) {
 		}),
 		okExp("c"), okExp("d"),
 	}
-	results, err := runSet(exps, DefaultOptions(), 4, nil)
+	results, err := runSet(exps, DefaultOptions(), RunConfig{Workers: 4}, nil)
 	if err == nil {
 		t.Fatal("failure was swallowed")
 	}
@@ -188,7 +188,7 @@ func TestParallelPanicBecomesError(t *testing.T) {
 		okExp("a"),
 		fakeExp("crash", func(Options) (*Result, error) { panic("kaboom") }),
 	}
-	results, err := runSet(exps, DefaultOptions(), 2, nil)
+	results, err := runSet(exps, DefaultOptions(), RunConfig{Workers: 2}, nil)
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Fatalf("panic not converted to error: %v", err)
 	}
@@ -204,7 +204,7 @@ func TestParallelProgressEvents(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var events []Progress
-	if _, err := runSet(exps, DefaultOptions(), 3, func(p Progress) {
+	if _, err := runSet(exps, DefaultOptions(), RunConfig{Workers: 3}, func(p Progress) {
 		mu.Lock()
 		events = append(events, p)
 		mu.Unlock()
@@ -232,7 +232,7 @@ func TestParallelProgressEvents(t *testing.T) {
 func TestParallelWorkerClamping(t *testing.T) {
 	exps := []Experiment{okExp("a"), okExp("b")}
 	for _, workers := range []int{0, -3, 1, 2, 100} {
-		results, err := runSet(exps, DefaultOptions(), workers, nil)
+		results, err := runSet(exps, DefaultOptions(), RunConfig{Workers: workers}, nil)
 		if err != nil || len(results) != 2 {
 			t.Fatalf("workers=%d: %d results, err %v", workers, len(results), err)
 		}
@@ -240,7 +240,7 @@ func TestParallelWorkerClamping(t *testing.T) {
 }
 
 func TestParallelResultsCarryWallTime(t *testing.T) {
-	results, err := runSet([]Experiment{okExp("a")}, DefaultOptions(), 1, nil)
+	results, err := runSet([]Experiment{okExp("a")}, DefaultOptions(), RunConfig{Workers: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

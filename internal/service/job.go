@@ -37,18 +37,22 @@ type Spec struct {
 // canonicalize validates the spec and rewrites it into canonical form:
 // defaults applied, IDs deduplicated and in paper order (or nil when they
 // name the whole registry), so equivalent requests hash identically.
+// Validation is rejecting, not coercing: values core.Options.Normalize
+// would silently patch (non-positive or non-finite scales) are a 400 at the
+// API boundary — only the zero value, indistinguishable from an omitted
+// field, takes the default.
 func (s Spec) canonicalize() (Spec, error) {
 	if s.Scale == 0 {
 		s.Scale = core.DefaultOptions().Scale
 	}
-	if s.Scale < 0 {
-		return s, fmt.Errorf("scale must be positive, got %g", s.Scale)
+	if s.Seed == 0 {
+		s.Seed = core.DefaultOptions().Seed
+	}
+	if err := s.options().Validate(); err != nil {
+		return s, err
 	}
 	if s.Scale > 100 {
 		return s, fmt.Errorf("scale %g exceeds the service limit of 100 (the paper's full protocol is ≈ 25)", s.Scale)
-	}
-	if s.Seed == 0 {
-		s.Seed = core.DefaultOptions().Seed
 	}
 	if s.Workers < 0 {
 		return s, fmt.Errorf("workers must be >= 0, got %d", s.Workers)

@@ -33,9 +33,11 @@ import (
 	"zen2ee/internal/report"
 )
 
-// Runner executes a job's experiment set; it is core.RunIDs in production
-// and injectable for tests.
-type Runner func(ids []string, o core.Options, workers int, progress func(core.Progress)) ([]*core.Result, error)
+// Runner executes a job's experiment set; it is core.RunIDsConfig in
+// production and injectable for tests. The RunConfig carries the daemon's
+// shared executor gate, so injected runners that forward it stay subject to
+// the pool.
+type Runner func(ids []string, o core.Options, cfg core.RunConfig, progress func(core.Progress)) ([]*core.Result, error)
 
 // Config sizes the daemon.
 type Config struct {
@@ -43,9 +45,11 @@ type Config struct {
 	// submissions beyond it are rejected with 503 rather than buffered
 	// without limit.
 	QueueDepth int
-	// Executors is the number of jobs executing concurrently (default 2).
-	// Each job internally fans its experiments across a scheduler worker
-	// pool, so a small number of executors already saturates the CPUs.
+	// Executors is the number of experiment *shards* executing concurrently
+	// across all jobs (default 2). The unit of scheduling is the shard, not
+	// the job: a lone heavy job (e.g. fig7's sweep) fans its shards across
+	// the whole pool instead of serializing on one executor, and under
+	// mixed traffic every job's shards compete for the same slots.
 	Executors int
 	// CacheEntries bounds the content-addressed result cache (default 256).
 	CacheEntries int
@@ -71,7 +75,7 @@ func (c Config) withDefaults() Config {
 		c.JobHistory = 4096
 	}
 	if c.Runner == nil {
-		c.Runner = core.RunIDs
+		c.Runner = core.RunIDsConfig
 	}
 	return c
 }
@@ -84,6 +88,10 @@ type Server struct {
 	queue   chan *job
 	cache   *resultCache
 	metrics *metrics
+	// slots is the shared executor pool: every shard of every running job
+	// holds one slot while it executes, so Executors bounds the daemon's
+	// total simulation concurrency at shard granularity.
+	slots chan struct{}
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -103,6 +111,7 @@ func New(cfg Config) *Server {
 		queue:   make(chan *job, cfg.QueueDepth),
 		cache:   newResultCache(cfg.CacheEntries),
 		metrics: newMetrics(),
+		slots:   make(chan struct{}, cfg.Executors),
 		jobs:    map[string]*job{},
 		quit:    make(chan struct{}),
 	}
@@ -113,6 +122,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// One dispatcher per executor slot: a dispatcher drives a job through
+	// the shard scheduler, whose workers borrow slots from s.slots — so up
+	// to Executors jobs are in flight, and their shards (not the jobs
+	// themselves) share the Executors-wide concurrency budget.
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
@@ -338,10 +351,15 @@ func (s *Server) executor() {
 	}
 }
 
-// progressEvent is the SSE wire form of core.Progress.
+// progressEvent is the SSE wire form of core.Progress. Shard-level events
+// carry shard in 1..shards; experiment-completion events omit shard (the
+// pre-shard wire shape, which existing consumers key on).
 type progressEvent struct {
 	ID             string  `json:"id"`
 	Index          int     `json:"index"`
+	Shard          int     `json:"shard,omitempty"`
+	Shards         int     `json:"shards,omitempty"`
+	Label          string  `json:"label,omitempty"`
 	Done           int     `json:"done"`
 	Total          int     `json:"total"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
@@ -356,18 +374,36 @@ type terminalEvent struct {
 	Error          string  `json:"error,omitempty"`
 }
 
+// acquireSlot blocks until one of the daemon's shared executor slots is
+// free and returns its release. The core scheduler calls it around every
+// shard execution.
+func (s *Server) acquireSlot() func() {
+	s.slots <- struct{}{}
+	return func() { <-s.slots }
+}
+
 func (s *Server) execute(j *job) {
 	j.setRunning()
 	s.metrics.addRunning(1)
 	defer s.metrics.addRunning(-1)
 
-	results, err := s.cfg.Runner(j.spec.IDs, j.spec.options(), j.spec.Workers,
+	// The job's scheduler spawns up to Executors workers (or the spec's
+	// explicit count), but actual concurrency is governed by the shared
+	// slot pool — a lone job spreads over every slot, concurrent jobs
+	// split them.
+	workers := j.spec.Workers
+	if workers <= 0 {
+		workers = s.cfg.Executors
+	}
+	runCfg := core.RunConfig{Workers: workers, Acquire: s.acquireSlot}
+	results, err := s.cfg.Runner(j.spec.IDs, j.spec.options(), runCfg,
 		func(p core.Progress) {
-			if p.Err == nil {
+			if p.ExperimentDone() && p.Err == nil {
 				s.metrics.observeExperiment(p.ID, p.Elapsed)
 			}
 			ev := progressEvent{
-				ID: p.ID, Index: p.Index, Done: p.Done, Total: p.Total,
+				ID: p.ID, Index: p.Index, Shard: p.Shard, Shards: p.Shards,
+				Label: p.Label, Done: p.Done, Total: p.Total,
 				ElapsedSeconds: p.Elapsed.Seconds(),
 			}
 			if p.Err != nil {

@@ -222,10 +222,10 @@ func TestEndToEnd(t *testing.T) {
 func TestConcurrentIdenticalRequestsRunOnce(t *testing.T) {
 	var runs atomic.Int32
 	gate := make(chan struct{})
-	cfg := Config{Runner: func(ids []string, o core.Options, workers int, progress func(core.Progress)) ([]*core.Result, error) {
+	cfg := Config{Runner: func(ids []string, o core.Options, rc core.RunConfig, progress func(core.Progress)) ([]*core.Result, error) {
 		runs.Add(1)
 		<-gate
-		return core.RunIDs(ids, o, workers, progress)
+		return core.RunIDsConfig(ids, o, rc, progress)
 	}}
 	_, ts := newTestServer(t, cfg)
 
@@ -271,9 +271,9 @@ func TestConcurrentIdenticalRequestsRunOnce(t *testing.T) {
 // go test -race in CI.
 func TestHammerIdenticalRequests(t *testing.T) {
 	var runs atomic.Int32
-	cfg := Config{Runner: func(ids []string, o core.Options, workers int, progress func(core.Progress)) ([]*core.Result, error) {
+	cfg := Config{Runner: func(ids []string, o core.Options, rc core.RunConfig, progress func(core.Progress)) ([]*core.Result, error) {
 		runs.Add(1)
-		return core.RunIDs(ids, o, workers, progress)
+		return core.RunIDsConfig(ids, o, rc, progress)
 	}}
 	_, ts := newTestServer(t, cfg)
 
@@ -315,6 +315,122 @@ func TestHammerIdenticalRequests(t *testing.T) {
 		if payloads[i] != payloads[0] {
 			t.Fatal("payload bytes differ between identical requests")
 		}
+	}
+}
+
+// TestLoneJobShardsAcrossExecutors is the tentpole's acceptance test at the
+// daemon layer: a single fig7 job must fan its shards across the shared
+// executor pool instead of serializing on one executor. The injected runner
+// forwards to the real scheduler but wraps the daemon's Acquire gate to
+// record the high-water mark of concurrently held slots; the job's payload
+// must still match the serial reference byte for byte (this test runs under
+// -race in CI, covering the sharded path's synchronization).
+func TestLoneJobShardsAcrossExecutors(t *testing.T) {
+	var held, peak atomic.Int32
+	// The first shard to acquire a slot parks until a second shard holds
+	// one too, so the test deterministically observes overlap (or times
+	// out and reports peak 1 if the scheduler serializes the job).
+	overlapped := make(chan struct{})
+	var closeOverlap sync.Once
+	cfg := Config{
+		Executors: 4,
+		Runner: func(ids []string, o core.Options, rc core.RunConfig, progress func(core.Progress)) ([]*core.Result, error) {
+			inner := rc.Acquire
+			rc.Acquire = func() func() {
+				release := inner()
+				cur := held.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				if cur >= 2 {
+					closeOverlap.Do(func() { close(overlapped) })
+				} else {
+					select {
+					case <-overlapped:
+					case <-time.After(5 * time.Second):
+					}
+				}
+				return func() { held.Add(-1); release() }
+			}
+			return core.RunIDsConfig(ids, o, rc, progress)
+		},
+	}
+	_, ts := newTestServer(t, cfg)
+
+	st, code := postJob(t, ts, `{"ids":["fig7"],"scale":0.5,"seed":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST returned %d", code)
+	}
+	if final := waitState(t, ts, st.ID); final.State != StateDone {
+		t.Fatalf("job finished as %+v", final)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("lone fig7 job peaked at %d concurrent shards, want >= 2 (shards must spread across executors)", p)
+	}
+	if h := held.Load(); h != 0 {
+		t.Fatalf("%d executor slots still held after the job", h)
+	}
+
+	// Determinism through the daemon: the concurrent sharded payload equals
+	// the single-worker direct computation.
+	payload, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	opts := core.Options{Scale: 0.5, Seed: 2}
+	results, err := core.RunIDs([]string{"fig7"}, opts, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := report.MarshalResults(results, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload != string(direct) {
+		t.Fatal("sharded daemon payload differs from the serial reference bytes")
+	}
+}
+
+// TestShardProgressOverSSE checks the wire shape of shard-level events: a
+// sharded job streams shard events (shard/shards set) before each
+// experiment completion event (shard omitted), and experiment totals keep
+// counting experiments.
+func TestShardProgressOverSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{Executors: 2})
+	st, _ := postJob(t, ts, `{"ids":["fig8"],"scale":0.2,"seed":4}`)
+	waitState(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := readSSE(t, resp.Body)
+	resp.Body.Close()
+
+	var shardEvents, expEvents int
+	for _, e := range events {
+		if e.name != "progress" {
+			continue
+		}
+		var p progressEvent
+		if err := json.Unmarshal([]byte(e.data), &p); err != nil {
+			t.Fatalf("progress event not JSON: %q", e.data)
+		}
+		if p.Shard > 0 {
+			shardEvents++
+			if p.Shards < p.Shard || p.ID != "fig8" || p.Label == "" {
+				t.Errorf("malformed shard event: %+v", p)
+			}
+		} else {
+			expEvents++
+			if p.Total != 1 {
+				t.Errorf("experiment event total %d, want 1", p.Total)
+			}
+		}
+	}
+	// fig8's plan is the 12-cell wake-latency matrix.
+	if shardEvents != 12 || expEvents != 1 {
+		t.Fatalf("SSE stream had %d shard / %d experiment events, want 12/1", shardEvents, expEvents)
 	}
 }
 
@@ -388,10 +504,10 @@ func TestQueueFullRejects(t *testing.T) {
 	defer close(gate)
 	started := make(chan struct{}, 8)
 	cfg := Config{QueueDepth: 1, Executors: 1,
-		Runner: func(ids []string, o core.Options, workers int, progress func(core.Progress)) ([]*core.Result, error) {
+		Runner: func(ids []string, o core.Options, rc core.RunConfig, progress func(core.Progress)) ([]*core.Result, error) {
 			started <- struct{}{}
 			<-gate
-			return core.RunIDs(ids, o, workers, progress)
+			return core.RunIDsConfig(ids, o, rc, progress)
 		}}
 	_, ts := newTestServer(t, cfg)
 
@@ -425,9 +541,9 @@ func TestUnknownJob(t *testing.T) {
 func TestResultBeforeDone(t *testing.T) {
 	gate := make(chan struct{})
 	defer close(gate)
-	cfg := Config{Runner: func(ids []string, o core.Options, workers int, progress func(core.Progress)) ([]*core.Result, error) {
+	cfg := Config{Runner: func(ids []string, o core.Options, rc core.RunConfig, progress func(core.Progress)) ([]*core.Result, error) {
 		<-gate
-		return core.RunIDs(ids, o, workers, progress)
+		return core.RunIDsConfig(ids, o, rc, progress)
 	}}
 	_, ts := newTestServer(t, cfg)
 	st, _ := postJob(t, ts, `{"ids":["fig1"]}`)
@@ -438,11 +554,11 @@ func TestResultBeforeDone(t *testing.T) {
 
 func TestFailedJobsRetryAndReportViaSSE(t *testing.T) {
 	var calls atomic.Int32
-	cfg := Config{Runner: func(ids []string, o core.Options, workers int, progress func(core.Progress)) ([]*core.Result, error) {
+	cfg := Config{Runner: func(ids []string, o core.Options, rc core.RunConfig, progress func(core.Progress)) ([]*core.Result, error) {
 		if calls.Add(1) == 1 {
 			return nil, fmt.Errorf("synthetic backend failure")
 		}
-		return core.RunIDs(ids, o, workers, progress)
+		return core.RunIDsConfig(ids, o, rc, progress)
 	}}
 	srv, ts := newTestServer(t, cfg)
 
@@ -546,9 +662,9 @@ func TestJobHistoryEvictionFallsBackToCache(t *testing.T) {
 	// With a tiny job table, an old finished job's record is evicted, but
 	// resubmitting its spec is still a cache hit (no new simulation).
 	var runs atomic.Int32
-	cfg := Config{JobHistory: 1, Runner: func(ids []string, o core.Options, workers int, progress func(core.Progress)) ([]*core.Result, error) {
+	cfg := Config{JobHistory: 1, Runner: func(ids []string, o core.Options, rc core.RunConfig, progress func(core.Progress)) ([]*core.Result, error) {
 		runs.Add(1)
-		return core.RunIDs(ids, o, workers, progress)
+		return core.RunIDsConfig(ids, o, rc, progress)
 	}}
 	_, ts := newTestServer(t, cfg)
 

@@ -341,14 +341,38 @@ func (s *System) StartPattern(cpus []int, spec []PhaseSpec) (stop func(), err er
 
 // --- Experiment registry pass-through ---
 
-// Options re-exports the experiment effort options.
+// Options re-exports the experiment effort options. Options.Validate
+// rejects the values Options.Normalize would silently coerce (non-positive
+// or non-finite scales); API boundaries should validate, internal consumers
+// normalize.
 type Options = core.Options
 
 // Result re-exports the experiment result type.
 type Result = core.Result
 
-// Experiment re-exports the registered experiment descriptor.
+// Experiment re-exports the registered experiment descriptor. An experiment
+// is either monolithic (Run) or sharded (Plan): sharded experiments expose
+// their independent units of work — fig7's sweep series, fig8's
+// wake-latency matrix cells, the tab1/fig4 frequency grids — so the
+// scheduler fans shards, not whole experiments, across its worker pool. For
+// sharded experiments Run is synthesized as the serial plan execution, and
+// both forms compute identical Results for the same Options.
 type Experiment = core.Experiment
+
+// Shard re-exports one independent unit of work within a sharded
+// experiment. Shard seeds are derived from the experiment seed and the
+// shard index (sim.DeriveSeed), so results are invariant to worker count
+// and shard interleaving.
+type Shard = core.Shard
+
+// Reduce re-exports the deterministic combiner of a sharded experiment: it
+// sees shard outputs in plan order regardless of completion order.
+type Reduce = core.Reduce
+
+// RunConfig re-exports the scheduler execution config: a worker count plus
+// an optional external slot gate (Acquire), which services embedding the
+// scheduler use to share one executor pool across concurrent runs.
+type RunConfig = core.RunConfig
 
 // DefaultOptions returns Scale 1, Seed 1.
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -366,7 +390,11 @@ func RunExperiment(id string, o Options) (*Result, error) {
 // RunAllExperiments executes the full suite serially.
 func RunAllExperiments(o Options) ([]*Result, error) { return core.RunAll(o) }
 
-// Progress re-exports the scheduler's per-experiment completion event.
+// Progress re-exports the scheduler's event type. Two kinds of event share
+// it: shard events (Shard in 1..Shards) as a sharded experiment's units of
+// work complete, and experiment-completion events (Shard == 0, i.e.
+// ExperimentDone() true) — the events pre-shard consumers were built on.
+// Done/Total always count experiments, never shards.
 type Progress = core.Progress
 
 // RunAllExperimentsParallel executes the full suite across a pool of
@@ -384,10 +412,18 @@ func RunAllExperimentsParallelProgress(o Options, workers int, progress func(Pro
 }
 
 // RunExperimentSet executes the named experiments (all of them when ids is
-// empty) through the worker-pool scheduler, with the same per-experiment
-// derived seeds the full-suite runners use — a subset run reproduces
-// exactly those sections of a full run. This is the entry point the
-// zen2eed daemon serves jobs through.
+// empty) through the shard scheduler, with the same derived seeds the
+// full-suite runners use — a subset run reproduces exactly those sections
+// of a full run, byte-identically for every worker count. This is the
+// entry point the zen2eed daemon serves jobs through.
 func RunExperimentSet(ids []string, o Options, workers int, progress func(Progress)) ([]*Result, error) {
 	return core.RunIDs(ids, o, workers, progress)
+}
+
+// RunExperimentSetConfig is RunExperimentSet with full scheduling control:
+// RunConfig adds an optional Acquire gate letting an embedding service
+// bound total shard concurrency across multiple concurrent runs while a
+// lone run still spreads over the whole pool.
+func RunExperimentSetConfig(ids []string, o Options, cfg RunConfig, progress func(Progress)) ([]*Result, error) {
+	return core.RunIDsConfig(ids, o, cfg, progress)
 }
