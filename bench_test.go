@@ -212,6 +212,40 @@ func BenchmarkFig7Sharded(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepBatchedVsSequential measures the sweep-first API's
+// headline: one batched 4-configuration sweep (one merged shard set over
+// every (config, experiment, shard) triple, one worker pool) against the
+// same four configurations submitted as sequential single runs. Both
+// compute byte-identical per-config documents; the batched form keeps the
+// pool saturated across configuration boundaries, so the gap widens with
+// core count (this dev container has a single CPU; see CI's BENCH_4
+// artifact for multi-core numbers).
+func BenchmarkSweepBatchedVsSequential(b *testing.B) {
+	ids := []string{"fig7"}
+	configs := core.Grid([]float64{0.5}, []uint64{1, 2, 3, 4})
+	workers := runtime.NumCPU()
+
+	b.Run("batched", func(b *testing.B) {
+		b.ReportMetric(float64(workers), "workers")
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunSweep(core.Sweep{IDs: ids, Configs: configs},
+				core.RunConfig{Workers: workers}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportMetric(float64(workers), "workers")
+		for i := 0; i < b.N; i++ {
+			for _, c := range configs {
+				if _, err := core.RunIDs(ids, c, workers, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // --- Service ---
 
 // submitServiceJob posts a job spec to a zen2eed instance and returns the

@@ -5,6 +5,7 @@
 //
 //	zen2ee list                          # list all experiments
 //	zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json]
+//	zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json]
 //	zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
 //
 // Scale 1 gives quick, statistically meaningful runs; the paper's full
@@ -12,6 +13,11 @@
 // out across -parallel worker goroutines (default: all CPUs); results are
 // bit-identical to a serial run for the same seed, and per-experiment
 // progress streams to stderr.
+//
+// sweep evaluates one experiment set over the -scales × -seeds grid as a
+// single batched run: every (configuration, experiment, shard) triple
+// shares one worker pool, and each configuration's section of the output
+// is byte-identical to the standalone `zen2ee run` of that configuration.
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 		err = list()
 	case "run":
 		err = run(args)
+	case "sweep":
+		err = sweep(args)
 	case "gen-experiments":
 		err = genExperiments(args)
 	case "help", "-h", "--help":
@@ -56,16 +64,24 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   zen2ee list
   zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json]
+  zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json]
   zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
 
 flags (accepted before or after the positional argument):
   -scale S     effort scale; the paper's full protocol is ≈ 25 (default 1)
   -seed N      simulation seed (default 1)
+  -scales CSV  sweep scale axis, e.g. -scales 1,2,4 (sweep only; default 1)
+  -seeds LIST  sweep seed axis: CSV and/or ranges, e.g. -seeds 1..8 or
+               -seeds 1,5,10..12 (sweep only; default 1)
   -parallel N  worker goroutines for full-suite runs (default: all CPUs;
                results are identical for every N)
   -csv         emit rows as CSV instead of aligned tables
   -json        emit the canonical JSON document (identical bytes to what
-               the zen2eed daemon serves for the same spec)`)
+               the zen2eed daemon serves for the same spec)
+
+sweep runs the scales × seeds cross-product of configurations as one
+batched job; each configuration's output section is byte-identical to the
+standalone run of that configuration.`)
 }
 
 func list() error {
@@ -76,9 +92,12 @@ func list() error {
 	return nil
 }
 
-// experimentFlags holds the parsed flags shared by run and gen-experiments.
+// experimentFlags holds the parsed flags shared by run, sweep, and
+// gen-experiments.
 type experimentFlags struct {
 	opts     core.Options
+	scales   []float64 // sweep scale axis (-scales)
+	seeds    []uint64  // sweep seed axis (-seeds)
 	csv      bool
 	jsonOut  bool
 	parallel int // worker count; 0 means runtime.NumCPU()
@@ -131,6 +150,16 @@ func parseExperimentArgs(args []string) (experimentFlags, error) {
 			if v, err = takeValue(); err == nil {
 				f.opts.Seed, err = strconv.ParseUint(v, 10, 64)
 			}
+		case "scales":
+			var v string
+			if v, err = takeValue(); err == nil {
+				f.scales, err = parseScaleList(v)
+			}
+		case "seeds":
+			var v string
+			if v, err = takeValue(); err == nil {
+				f.seeds, err = parseSeedList(v)
+			}
 		case "parallel":
 			var v string
 			if v, err = takeValue(); err == nil {
@@ -159,21 +188,84 @@ func parseExperimentArgs(args []string) (experimentFlags, error) {
 	return f, nil
 }
 
+// parseScaleList parses a CSV of positive scales ("1,2,4").
+func parseScaleList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad scale %q", part)
+		}
+		if err := (core.Options{Scale: v, Seed: 1}).Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// maxSeedRange bounds a single -seeds range so a typo ("1..1e9") cannot
+// silently request a billion configurations.
+const maxSeedRange = 4096
+
+// parseSeedList parses a seed axis: comma-separated entries that are
+// either single seeds ("5") or inclusive ranges ("1..8").
+func parseSeedList(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		lo, hi, isRange := part, part, false
+		if i := strings.Index(part, ".."); i >= 0 {
+			lo, hi, isRange = part[:i], part[i+2:], true
+		}
+		a, err := strconv.ParseUint(lo, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		b := a
+		if isRange {
+			if b, err = strconv.ParseUint(hi, 10, 64); err != nil {
+				return nil, fmt.Errorf("bad seed range %q", part)
+			}
+			if b < a {
+				return nil, fmt.Errorf("seed range %q is descending", part)
+			}
+			// b-a (not b-a+1) so the full-uint64 range cannot overflow the
+			// size computation past the guard.
+			if b-a >= maxSeedRange {
+				return nil, fmt.Errorf("seed range %q spans more than %d seeds", part, maxSeedRange)
+			}
+		}
+		for v := a; ; v++ {
+			out = append(out, v)
+			if v == b {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
 // printProgress streams scheduler events to stderr so stdout stays
 // parseable: indented shard lines as a heavy experiment's sweep points
-// complete, and one completion line per experiment.
+// complete, and one completion line per experiment. Sweep runs prefix
+// each line with the configuration it belongs to.
 func printProgress(p core.Progress) {
 	status := "ok"
 	if p.Err != nil {
 		status = "FAILED: " + p.Err.Error()
 	}
+	cfg := ""
+	if p.Configs > 1 {
+		cfg = fmt.Sprintf("c%d ", p.Config+1)
+	}
 	if !p.ExperimentDone() {
-		fmt.Fprintf(os.Stderr, "        %-10s shard %2d/%-2d %-20s %-8s %s\n",
-			p.ID, p.Shard, p.Shards, p.Label, p.Elapsed.Round(100*time.Microsecond), status)
+		fmt.Fprintf(os.Stderr, "        %s%-10s shard %2d/%-2d %-20s %-8s %s\n",
+			cfg, p.ID, p.Shard, p.Shards, p.Label, p.Elapsed.Round(100*time.Microsecond), status)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "[%2d/%d] %-10s %-8s %s\n",
-		p.Done, p.Total, p.ID, p.Elapsed.Round(100*time.Microsecond), status)
+	fmt.Fprintf(os.Stderr, "[%2d/%d] %s%-10s %-8s %s\n",
+		p.Done, p.Total, cfg, p.ID, p.Elapsed.Round(100*time.Microsecond), status)
 }
 
 // runSuite fans the full suite out across the requested workers.
@@ -181,9 +273,22 @@ func runSuite(f experimentFlags) ([]*core.Result, error) {
 	return core.RunAllParallelProgress(f.opts, f.parallel, printProgress)
 }
 
+// rejectSweepAxes guards the single-configuration commands against the
+// sweep-only flags, so "-scales" on run fails loudly instead of silently
+// running one configuration.
+func rejectSweepAxes(cmd string, f experimentFlags) error {
+	if len(f.scales) > 0 || len(f.seeds) > 0 {
+		return fmt.Errorf("-scales/-seeds are sweep flags; %s takes -scale and -seed", cmd)
+	}
+	return nil
+}
+
 func run(args []string) error {
 	f, err := parseExperimentArgs(args)
 	if err != nil {
+		return err
+	}
+	if err := rejectSweepAxes("run", f); err != nil {
 		return err
 	}
 	if len(f.pos) != 1 {
@@ -232,9 +337,56 @@ func run(args []string) error {
 	return err
 }
 
+// sweep runs the -scales × -seeds configuration grid over the named
+// experiments (all of them by default) as one batched scheduler run.
+func sweep(args []string) error {
+	f, err := parseExperimentArgs(args)
+	if err != nil {
+		return err
+	}
+	if f.csv {
+		return fmt.Errorf("sweep output is per-configuration; -csv is not supported (use -json)")
+	}
+	if f.opts != core.DefaultOptions() {
+		return fmt.Errorf("-scale/-seed are single-run flags; sweep takes -scales and -seeds")
+	}
+	ids := f.pos
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+	}
+	sw := core.Sweep{IDs: ids, Configs: core.Grid(f.scales, f.seeds)}
+	sr, err := core.RunSweep(sw, core.RunConfig{Workers: f.parallel}, printProgress)
+	if err != nil {
+		// Unlike run, a sweep is usually unattended (it is the batch shape);
+		// partial documents would be mistaken for complete ones.
+		return err
+	}
+	if f.jsonOut {
+		// The canonical sweep document: each per-config section carries the
+		// exact bytes `zen2ee run -json` (and the zen2eed daemon) produce
+		// for that configuration alone.
+		doc, err := report.MarshalSweep(sr)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	for _, run := range sr.Runs {
+		fmt.Printf("==== scale %g, seed %d ====\n\n", run.Config.Scale, run.Config.Seed)
+		for _, r := range run.Results {
+			fmt.Println(r.Table())
+		}
+	}
+	return nil
+}
+
 func genExperiments(args []string) error {
 	f, err := parseExperimentArgs(args)
 	if err != nil {
+		return err
+	}
+	if err := rejectSweepAxes("gen-experiments", f); err != nil {
 		return err
 	}
 	if len(f.pos) != 0 {

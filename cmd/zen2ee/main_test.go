@@ -33,6 +33,10 @@ func TestParseExperimentArgs(t *testing.T) {
 			experimentFlags{opts: opts(3, 1), pos: []string{"all"}}},
 		{"end-of-flags marker", []string{"-scale", "2", "--", "-weird-id"},
 			experimentFlags{opts: opts(2, 1), pos: []string{"-weird-id"}}},
+		{"sweep axes", []string{"-scales", "1,2,4", "-seeds", "1..3", "fig7"},
+			experimentFlags{opts: opts(1, 1), scales: []float64{1, 2, 4}, seeds: []uint64{1, 2, 3}, pos: []string{"fig7"}}},
+		{"seed list with ranges", []string{"-seeds=2,5..7,10"},
+			experimentFlags{opts: opts(1, 1), seeds: []uint64{2, 5, 6, 7, 10}}},
 	}
 	for _, c := range cases {
 		got, err := parseExperimentArgs(c.args)
@@ -52,20 +56,42 @@ func opts(scale float64, seed uint64) core.Options {
 
 func TestParseExperimentArgsErrors(t *testing.T) {
 	for _, args := range [][]string{
-		{"-bogus", "all"},          // unknown flag must not become positional
-		{"all", "-scale"},          // missing value
-		{"-scale", "two", "all"},   // non-numeric value
-		{"-scale", "0", "all"},     // scale must be positive (Options.Validate)
-		{"-scale", "-2", "all"},    // negative scale
-		{"-scale", "Inf", "all"},   // non-finite scale
-		{"-scale", "NaN", "all"},   // non-finite scale
-		{"-parallel", "0", "all"},  // workers below 1
-		{"-parallel", "-1", "all"}, // negative workers
-		{"-csv=maybe", "all"},      // bad boolean
-		{"-json=maybe", "all"},     // bad boolean
+		{"-bogus", "all"},                     // unknown flag must not become positional
+		{"all", "-scale"},                     // missing value
+		{"-scale", "two", "all"},              // non-numeric value
+		{"-scale", "0", "all"},                // scale must be positive (Options.Validate)
+		{"-scale", "-2", "all"},               // negative scale
+		{"-scale", "Inf", "all"},              // non-finite scale
+		{"-scale", "NaN", "all"},              // non-finite scale
+		{"-parallel", "0", "all"},             // workers below 1
+		{"-parallel", "-1", "all"},            // negative workers
+		{"-csv=maybe", "all"},                 // bad boolean
+		{"-json=maybe", "all"},                // bad boolean
+		{"-scales", "1,zero"},                 // non-numeric scale in axis
+		{"-scales", "1,-2"},                   // negative scale in axis
+		{"-seeds", "8..1"},                    // descending range
+		{"-seeds", "1..1000000"},              // range beyond the sanity bound
+		{"-seeds", "0..18446744073709551615"}, // full uint64 range must not overflow the guard
+		{"-seeds", "1..two"},                  // malformed range end
 	} {
 		if _, err := parseExperimentArgs(args); err == nil {
 			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+func TestSweepCommandGuards(t *testing.T) {
+	// Single-run flags on sweep, sweep axes on run/gen-experiments, and
+	// csv on sweep are all loud errors, not silent reinterpretations.
+	for name, call := range map[string]func() error{
+		"sweep -scale":           func() error { return sweep([]string{"-scale", "2", "fig1"}) },
+		"sweep -csv":             func() error { return sweep([]string{"-csv", "fig1"}) },
+		"run -scales":            func() error { return run([]string{"-scales", "1,2", "fig1"}) },
+		"gen-experiments -seeds": func() error { return genExperiments([]string{"-seeds", "1..2"}) },
+		"sweep duplicate ids":    func() error { return sweep([]string{"fig1", "fig1"}) },
+	} {
+		if err := call(); err == nil {
+			t.Errorf("%s: accepted, want error", name)
 		}
 	}
 }

@@ -1,11 +1,16 @@
 // Command zen2eed is the experiment-serving daemon: an HTTP/JSON front end
 // over the core scheduler with a bounded job queue, a content-addressed
 // result cache with singleflight deduplication, live SSE progress streams,
-// and Prometheus metrics.
+// and Prometheus metrics. Sweeps batch many (Scale, Seed) configurations
+// into one job, content-addressed per configuration against the same cache
+// single jobs use.
 //
 // Usage: zen2eed [-addr :8080] [-executors N] [-queue N] [-cache N]
+// [-sse-keepalive D]
 //
 //	curl -d '{"ids":["fig3"],"scale":1,"seed":1}' localhost:8080/v1/jobs
+//	curl -d '{"ids":["fig7"],"scales":[1,2],"seeds":[1,2,3]}' localhost:8080/v1/sweeps
+//	curl localhost:8080/v1/jobs                    # list active/recent jobs
 //	curl localhost:8080/v1/jobs/<id>/events        # live SSE progress
 //	curl localhost:8080/v1/jobs/<id>/result        # canonical result JSON
 //	curl localhost:8080/metrics
@@ -41,6 +46,8 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&o.cfg.Executors, "executors", 2, "experiment shards simulating concurrently across all jobs (a lone heavy job fans out over the whole pool)")
 	fs.IntVar(&o.cfg.QueueDepth, "queue", 64, "bounded job queue depth; submissions beyond it get 503")
 	fs.IntVar(&o.cfg.CacheEntries, "cache", 256, "content-addressed result cache entries")
+	fs.DurationVar(&o.cfg.SSEKeepAlive, "sse-keepalive", 15*time.Second,
+		"idle interval between SSE comment frames on progress streams (keeps proxies from dropping long sweeps)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -49,6 +56,9 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	}
 	if o.cfg.Executors < 1 || o.cfg.QueueDepth < 1 || o.cfg.CacheEntries < 1 {
 		return o, fmt.Errorf("-executors, -queue and -cache must be >= 1")
+	}
+	if o.cfg.SSEKeepAlive < time.Second {
+		return o, fmt.Errorf("-sse-keepalive must be >= 1s")
 	}
 	return o, nil
 }

@@ -3,20 +3,21 @@ package main
 import (
 	"io"
 	"testing"
+	"time"
 )
 
 func TestParseFlags(t *testing.T) {
-	o, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-executors", "4", "-queue", "8", "-cache", "16"}, io.Discard)
+	o, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-executors", "4", "-queue", "8", "-cache", "16", "-sse-keepalive", "30s"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if o.addr != "127.0.0.1:9999" || o.cfg.Executors != 4 || o.cfg.QueueDepth != 8 || o.cfg.CacheEntries != 16 {
+	if o.addr != "127.0.0.1:9999" || o.cfg.Executors != 4 || o.cfg.QueueDepth != 8 || o.cfg.CacheEntries != 16 || o.cfg.SSEKeepAlive != 30*time.Second {
 		t.Fatalf("parsed %+v", o)
 	}
 	if o, err = parseFlags(nil, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if o.addr != ":8080" || o.cfg.Executors != 2 {
+	if o.addr != ":8080" || o.cfg.Executors != 2 || o.cfg.SSEKeepAlive != 15*time.Second {
 		t.Fatalf("defaults wrong: %+v", o)
 	}
 }
@@ -28,6 +29,7 @@ func TestParseFlagsErrors(t *testing.T) {
 		{"-executors", "0"},
 		{"-queue", "-5"},
 		{"-cache", "0"},
+		{"-sse-keepalive", "50ms"},
 	} {
 		if _, err := parseFlags(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted, want error", args)

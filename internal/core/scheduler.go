@@ -5,9 +5,12 @@
 // whole experiments — across goroutines. A single heavy experiment (fig7's
 // 128-thread sweep, fig8's wake-latency matrix) therefore spreads over the
 // whole pool instead of serializing on one worker, while monolithic
-// experiments ride along as single-shard plans. The pool collects whatever
-// succeeds, joins the failures into one error, and still reports results in
-// paper order.
+// experiments ride along as single-shard plans. Batched sweeps (see
+// sweep.go) widen the same pool over many (Scale, Seed) configurations:
+// runSweep's merged task set over (configuration, experiment, shard)
+// triples is the one execution pipeline, and single-configuration runs are
+// its one-config special case. The pool collects whatever succeeds, joins
+// the failures into one error, and still reports results in paper order.
 //
 // Determinism: shard i of experiment e draws from the stream
 // sim.DeriveSeed(expSeed, "e/shard/i") and reducers see outputs in plan
@@ -43,6 +46,11 @@ type Progress struct {
 	// position in the scheduled set).
 	ID    string
 	Index int
+	// Config and Configs locate the event within a sweep: Config is the
+	// index of the (Scale, Seed) configuration the experiment ran under,
+	// Configs the sweep size. Single-configuration runs always report
+	// Config 0 of 1.
+	Config, Configs int
 	// Shard and Shards locate a shard event within its experiment's plan:
 	// a shard event carries Shard in 1..Shards; an experiment-completion
 	// event has Shard == 0 (Shards still reports the plan size).
@@ -50,9 +58,11 @@ type Progress struct {
 	// Label is the completed shard's plan label (e.g. "active-2500");
 	// empty on experiment-completion events.
 	Label string
-	// Done counts finished experiments (never shards) including this one;
-	// Total is the experiment count of the scheduled set. Shard events
-	// carry the running Done count without incrementing it.
+	// Done counts finished (configuration, experiment) pairs (never
+	// shards) including this one; Total is the pair count of the scheduled
+	// set — for single-configuration runs these are exactly the experiment
+	// counts pre-sweep consumers were built on. Shard events carry the
+	// running Done count without incrementing it.
 	Done, Total int
 	// Elapsed is the shard's wall-clock time on a shard event, and the span
 	// from the experiment's first shard starting to its reduce finishing on
@@ -104,11 +114,14 @@ func RunAllParallelProgress(o Options, workers int, progress func(Progress)) ([]
 }
 
 // ResolveIDs maps a requested experiment-ID set onto the registry: the
-// returned experiments are deduplicated and in paper order regardless of
-// request order, and an empty request selects the whole registry. This is
-// the canonicalization the service layer's content-addressed cache keys
-// build on — two requests naming the same set in different orders resolve
-// identically. Unknown IDs fail the whole request before any work starts.
+// returned experiments are in paper order regardless of request order, and
+// an empty request selects the whole registry. This is the canonicalization
+// the service layer's content-addressed cache keys build on — two requests
+// naming the same set in different orders resolve identically. Unknown IDs
+// and duplicated IDs fail the whole request before any work starts: a
+// repeated ID is almost always a caller bug (a mis-built sweep grid, a
+// copy-paste slip), and silently collapsing it would hide that the response
+// has fewer sections than the request had entries.
 func ResolveIDs(ids []string) ([]Experiment, error) {
 	if len(ids) == 0 {
 		return Registry(), nil
@@ -117,6 +130,9 @@ func ResolveIDs(ids []string) ([]Experiment, error) {
 	for _, id := range ids {
 		if _, err := ByID(id); err != nil {
 			return nil, err
+		}
+		if want[id] {
+			return nil, fmt.Errorf("core: experiment %q requested twice", id)
 		}
 		want[id] = true
 	}
@@ -167,17 +183,25 @@ func RunOne(id string, o Options) (*Result, error) {
 	return r, nil
 }
 
-// task addresses one shard of one scheduled experiment.
+// task addresses one shard of one scheduled (configuration, experiment)
+// pair.
 type task struct {
-	exp, shard int
+	config, exp, shard int
 }
 
-// expRun tracks one experiment through the shard scheduler.
+// expRun tracks one (configuration, experiment) pair through the shard
+// scheduler.
 type expRun struct {
 	exp    Experiment
 	opts   Options // per-experiment derived options
 	shards []Shard
 	reduce Reduce
+	// tag names the run in error messages: the bare experiment ID for
+	// single-configuration runs, prefixed with the configuration's scale
+	// and seed for sweeps. Deliberately not the positional index — callers
+	// (the daemon) run subsets of a request's configurations, so an index
+	// would point at the wrong entry of the original request.
+	tag string
 	// planned distinguishes explicit plans (per-shard seed streams) from
 	// auto-wrapped monolithic experiments (options passed through).
 	planned bool
@@ -211,7 +235,7 @@ func (er *expRun) shardOptions(i int) Options {
 // shard: it joins shard failures or reduces the outputs into the Result.
 func (er *expRun) finalize() {
 	if err := errors.Join(er.errs...); err != nil {
-		er.err = fmt.Errorf("core: %s: %w", er.exp.ID, err)
+		er.err = fmt.Errorf("core: %s: %w", er.tag, err)
 		return
 	}
 	r, err := reduceGuarded(er.reduce, er.opts, er.outs)
@@ -221,7 +245,7 @@ func (er *expRun) finalize() {
 		err = errors.New("reducer returned no result and no error")
 	}
 	if err != nil {
-		er.err = fmt.Errorf("core: %s: reduce: %w", er.exp.ID, err)
+		er.err = fmt.Errorf("core: %s: reduce: %w", er.tag, err)
 		return
 	}
 	r.Elapsed = time.Since(time.Unix(0, er.startNS.Load()))
@@ -235,27 +259,49 @@ func (er *expRun) elapsed() time.Duration {
 	return 0
 }
 
-// runSet is the scheduler core, operating on an explicit experiment set so
-// tests can inject failing or panicking experiments without touching the
-// global registry.
+// runSet runs one configuration — it is the one-config form of runSweep,
+// kept as the seam scheduler tests inject failing or panicking experiments
+// through without touching the global registry.
 func runSet(exps []Experiment, o Options, cfg RunConfig, progress func(Progress)) ([]*Result, error) {
-	// Plan phase: resolve every experiment to its shards up front, so the
-	// task channel and the event buffer can be sized exactly and task
-	// submission never blocks a worker.
-	runs := make([]*expRun, len(exps))
+	perConfig, err := runSweep(exps, []Config{o}, cfg, progress)
+	return perConfig[0], err
+}
+
+// runSweep is the scheduler core: the merged task set over every
+// (configuration, experiment, shard) triple, fanned across one worker pool.
+// It operates on an explicit experiment set so tests can inject synthetic
+// experiments, and returns per-configuration result slices in request
+// order (each in paper order), plus one joined error over every failure.
+//
+// Each configuration derives its experiment and shard seed streams exactly
+// as a standalone single-configuration run would, so perConfig[i] is
+// identical to what runSet(exps, configs[i], ...) computes — batching
+// changes scheduling, never results.
+func runSweep(exps []Experiment, configs []Config, cfg RunConfig, progress func(Progress)) ([][]*Result, error) {
+	// Plan phase: resolve every (configuration, experiment) pair to its
+	// shards up front, so the task channel and the event buffer can be
+	// sized exactly and task submission never blocks a worker.
+	runs := make([][]*expRun, len(configs))
+	pairs := len(configs) * len(exps)
 	total := 0
-	for i, e := range exps {
-		er := &expRun{exp: e, opts: o.perExperiment(e.ID), planned: e.Plan != nil}
-		er.shards, er.reduce, er.err = planForGuarded(e, er.opts)
-		if er.err != nil {
-			er.err = fmt.Errorf("core: %s: %w", e.ID, er.err)
-		} else {
-			er.outs = make([]any, len(er.shards))
-			er.errs = make([]error, len(er.shards))
-			er.remaining.Store(int32(len(er.shards)))
-			total += len(er.shards)
+	for ci, o := range configs {
+		runs[ci] = make([]*expRun, len(exps))
+		for i, e := range exps {
+			er := &expRun{exp: e, opts: o.perExperiment(e.ID), tag: e.ID, planned: e.Plan != nil}
+			if len(configs) > 1 {
+				er.tag = fmt.Sprintf("config (scale %g, seed %d): %s", o.Scale, o.Seed, e.ID)
+			}
+			er.shards, er.reduce, er.err = planForGuarded(e, er.opts)
+			if er.err != nil {
+				er.err = fmt.Errorf("core: %s: %w", er.tag, er.err)
+			} else {
+				er.outs = make([]any, len(er.shards))
+				er.errs = make([]error, len(er.shards))
+				er.remaining.Store(int32(len(er.shards)))
+				total += len(er.shards)
+			}
+			runs[ci][i] = er
 		}
-		runs[i] = er
 	}
 
 	// Progress decoupling (see RunAllParallelProgress): workers send into a
@@ -265,7 +311,7 @@ func runSet(exps []Experiment, o Options, cfg RunConfig, progress func(Progress)
 	emit := func(Progress) {}
 	var emitterDone chan struct{}
 	if progress != nil {
-		events := make(chan Progress, total+len(exps))
+		events := make(chan Progress, total+pairs)
 		emitterDone = make(chan struct{})
 		go func() {
 			defer close(emitterDone)
@@ -274,7 +320,7 @@ func runSet(exps []Experiment, o Options, cfg RunConfig, progress func(Progress)
 				if p.ExperimentDone() {
 					done++
 				}
-				p.Done, p.Total = done, len(exps)
+				p.Done, p.Total, p.Configs = done, pairs, len(configs)
 				progress(p)
 			}
 		}()
@@ -282,17 +328,21 @@ func runSet(exps []Experiment, o Options, cfg RunConfig, progress func(Progress)
 		defer func() { close(events); <-emitterDone }()
 	}
 
-	// Experiments that failed to plan complete immediately.
-	for i, er := range runs {
-		if er.err != nil {
-			emit(Progress{ID: er.exp.ID, Index: i, Err: er.err})
+	// Pairs that failed to plan complete immediately.
+	for ci, ers := range runs {
+		for i, er := range ers {
+			if er.err != nil {
+				emit(Progress{ID: er.exp.ID, Index: i, Config: ci, Err: er.err})
+			}
 		}
 	}
 
 	tasks := make(chan task, total)
-	for i, er := range runs {
-		for s := range er.shards {
-			tasks <- task{exp: i, shard: s}
+	for ci, ers := range runs {
+		for i, er := range ers {
+			for s := range er.shards {
+				tasks <- task{config: ci, exp: i, shard: s}
+			}
 		}
 	}
 	close(tasks)
@@ -310,7 +360,7 @@ func runSet(exps []Experiment, o Options, cfg RunConfig, progress func(Progress)
 		go func() {
 			defer wg.Done()
 			for t := range tasks {
-				er := runs[t.exp]
+				er := runs[t.config][t.exp]
 				release := func() {}
 				if cfg.Acquire != nil {
 					release = cfg.Acquire()
@@ -328,7 +378,7 @@ func runSet(exps []Experiment, o Options, cfg RunConfig, progress func(Progress)
 				}
 				if len(er.shards) > 1 {
 					emit(Progress{
-						ID: er.exp.ID, Index: t.exp,
+						ID: er.exp.ID, Index: t.exp, Config: t.config,
 						Shard: t.shard + 1, Shards: len(er.shards),
 						Label:   er.shards[t.shard].Label,
 						Elapsed: elapsed, Err: er.errs[t.shard],
@@ -337,7 +387,8 @@ func runSet(exps []Experiment, o Options, cfg RunConfig, progress func(Progress)
 				if er.remaining.Add(-1) == 0 {
 					er.finalize()
 					emit(Progress{
-						ID: er.exp.ID, Index: t.exp, Shards: len(er.shards),
+						ID: er.exp.ID, Index: t.exp, Config: t.config,
+						Shards:  len(er.shards),
 						Elapsed: er.elapsed(), Err: er.err,
 					})
 				}
@@ -346,15 +397,19 @@ func runSet(exps []Experiment, o Options, cfg RunConfig, progress func(Progress)
 	}
 	wg.Wait()
 
-	out := make([]*Result, 0, len(exps))
-	errs := make([]error, len(exps))
-	for i, er := range runs {
-		if er.result != nil {
-			out = append(out, er.result)
+	perConfig := make([][]*Result, len(configs))
+	errs := make([]error, 0, pairs)
+	for ci, ers := range runs {
+		out := make([]*Result, 0, len(exps))
+		for _, er := range ers {
+			if er.result != nil {
+				out = append(out, er.result)
+			}
+			errs = append(errs, er.err)
 		}
-		errs[i] = er.err
+		perConfig[ci] = out
 	}
-	return out, errors.Join(errs...)
+	return perConfig, errors.Join(errs...)
 }
 
 // planForGuarded converts a plan panic into an error so one broken planner

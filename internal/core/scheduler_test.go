@@ -87,9 +87,9 @@ func TestRunOneMatchesSuiteSection(t *testing.T) {
 }
 
 func TestResolveIDsCanonicalizes(t *testing.T) {
-	// Request order and repeats must not matter: the resolved set is in
-	// paper order and deduplicated (the property cache keys rely on).
-	a, err := ResolveIDs([]string{"fig3", "fig1", "sec5a", "fig3"})
+	// Request order must not matter: the resolved set is in paper order
+	// (the property cache keys rely on).
+	a, err := ResolveIDs([]string{"fig3", "fig1", "sec5a"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,6 +112,15 @@ func TestResolveIDsCanonicalizes(t *testing.T) {
 func TestResolveIDsUnknown(t *testing.T) {
 	if _, err := ResolveIDs([]string{"fig1", "nonexistent"}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestResolveIDsRejectsDuplicates(t *testing.T) {
+	// A repeated ID is a caller bug, not a request to collapse: the
+	// response would silently have fewer sections than the request.
+	_, err := ResolveIDs([]string{"fig3", "fig1", "fig3"})
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate experiment IDs accepted (err %v)", err)
 	}
 }
 

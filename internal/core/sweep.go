@@ -1,0 +1,118 @@
+// The sweep-first run API. The paper's artifacts are parameter sweeps
+// (fig7's frequency/thread sweeps, fig8's wake-latency matrix), and
+// sensitivity studies over them want the same experiment set evaluated at
+// many (Scale, Seed) points — so the batched request, not the single
+// configuration, is the primitive: a Sweep plans one merged shard set over
+// every (configuration, experiment, shard) triple and fans it across one
+// worker pool, while single-configuration entry points (RunIDs, RunAll*)
+// are thin wrappers over a one-config sweep. Batching changes scheduling
+// only: every per-configuration result slice is identical — byte for byte
+// through report.MarshalResults — to the standalone run of that
+// configuration.
+
+package core
+
+import "fmt"
+
+// Config is one point of a sweep grid: a (Scale, Seed) pair. It is the
+// same value type as Options — the alias exists so sweep call sites read
+// as grids of configurations rather than as effort options.
+type Config = Options
+
+// Grid expands the Scales × Seeds cross-product into configurations,
+// scales outermost: (s0,d0), (s0,d1), …, (s1,d0), … An empty scale or
+// seed axis defaults to the single default value (Scale 1 / Seed 1), so
+// one-axis sweeps read naturally.
+func Grid(scales []float64, seeds []uint64) []Config {
+	if len(scales) == 0 {
+		scales = []float64{DefaultOptions().Scale}
+	}
+	if len(seeds) == 0 {
+		seeds = []uint64{DefaultOptions().Seed}
+	}
+	out := make([]Config, 0, len(scales)*len(seeds))
+	for _, sc := range scales {
+		for _, sd := range seeds {
+			out = append(out, Config{Scale: sc, Seed: sd})
+		}
+	}
+	return out
+}
+
+// Sweep is a batched run request: one experiment set (empty IDs = the full
+// registry) evaluated at every listed configuration.
+type Sweep struct {
+	IDs     []string `json:"ids,omitempty"`
+	Configs []Config `json:"configs"`
+}
+
+// Validate rejects sweeps the scheduler would otherwise have to silently
+// patch: no configurations, configurations whose Options fail validation,
+// and duplicated configurations (which would burn a full redundant run to
+// produce an identical section). Experiment IDs are validated separately
+// by ResolveIDs, which likewise rejects duplicates.
+func (s Sweep) Validate() error {
+	if len(s.Configs) == 0 {
+		return fmt.Errorf("core: sweep has no configurations")
+	}
+	seen := make(map[Config]int, len(s.Configs))
+	for i, c := range s.Configs {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("core: sweep config %d: %w", i, err)
+		}
+		if j, dup := seen[c]; dup {
+			return fmt.Errorf("core: sweep configs %d and %d are identical (scale %g, seed %d)", j, i, c.Scale, c.Seed)
+		}
+		seen[c] = i
+	}
+	return nil
+}
+
+// ConfigResult is one configuration's section of a sweep outcome.
+type ConfigResult struct {
+	Config Config `json:"config"`
+	// Results are the configuration's experiment results in paper order —
+	// identical to what a standalone RunIDs call with this configuration
+	// returns.
+	Results []*Result `json:"results"`
+}
+
+// SweepResult is the reduction of a sweep: per-configuration result sets
+// keyed by configuration, in request order.
+type SweepResult struct {
+	// IDs echoes the canonical experiment set (paper order; nil when the
+	// sweep covered the full registry).
+	IDs  []string       `json:"ids,omitempty"`
+	Runs []ConfigResult `json:"runs"`
+}
+
+// RunSweep executes a batched sweep: every (configuration, experiment,
+// shard) triple is one independent task, fanned across the RunConfig's
+// worker pool (and its optional Acquire gate), so a sweep saturates the
+// same pool a single heavy run does instead of serializing configuration
+// by configuration. Like the other schedulers it is partial on failure:
+// every configuration's surviving results come back alongside one joined
+// error. Unlike the Normalize-based internal paths, RunSweep validates at
+// the boundary — invalid or duplicated configurations and unknown or
+// duplicated experiment IDs are an error before any work starts.
+func RunSweep(sw Sweep, cfg RunConfig, progress func(Progress)) (*SweepResult, error) {
+	exps, err := ResolveIDs(sw.IDs)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	perConfig, err := runSweep(exps, sw.Configs, cfg, progress)
+	sr := &SweepResult{Runs: make([]ConfigResult, len(sw.Configs))}
+	if len(sw.IDs) > 0 && len(exps) < len(Registry()) {
+		sr.IDs = make([]string, len(exps))
+		for i, e := range exps {
+			sr.IDs[i] = e.ID
+		}
+	}
+	for i, c := range sw.Configs {
+		sr.Runs[i] = ConfigResult{Config: c, Results: perConfig[i]}
+	}
+	return sr, err
+}

@@ -22,25 +22,28 @@ import (
 // Spec is a job request: which experiments to run at what effort. The zero
 // value of Scale/Seed means the registry defaults (Scale 1, Seed 1).
 type Spec struct {
-	// IDs selects experiments; empty means the full suite.
+	// IDs selects experiments; empty means the full suite. Duplicate IDs
+	// are rejected, not collapsed.
 	IDs []string `json:"ids,omitempty"`
 	// Scale and Seed are core.Options (the paper's full protocol is
 	// Scale ≈ 25).
 	Scale float64 `json:"scale,omitempty"`
 	Seed  uint64  `json:"seed,omitempty"`
-	// Workers bounds the job's scheduler worker pool (0 = all CPUs). It is
-	// an execution hint, not part of the job's identity: results are
-	// bit-identical for every worker count.
-	Workers int `json:"workers,omitempty"`
+	// Workers bounds the job's scheduler worker pool. Omitted means the
+	// daemon's executor count; an explicit value must be >= 1 — zero and
+	// negative counts are a 400, not a silent default. It is an execution
+	// hint, not part of the job's identity: results are bit-identical for
+	// every worker count.
+	Workers *int `json:"workers,omitempty"`
 }
 
 // canonicalize validates the spec and rewrites it into canonical form:
-// defaults applied, IDs deduplicated and in paper order (or nil when they
-// name the whole registry), so equivalent requests hash identically.
-// Validation is rejecting, not coercing: values core.Options.Normalize
-// would silently patch (non-positive or non-finite scales) are a 400 at the
-// API boundary — only the zero value, indistinguishable from an omitted
-// field, takes the default.
+// defaults applied, IDs in paper order (or nil when they name the whole
+// registry), so equivalent requests hash identically. Validation is
+// rejecting, not coercing: values core.Options.Normalize would silently
+// patch (non-positive or non-finite scales), worker counts below 1, and
+// duplicated experiment IDs are a 400 at the API boundary — only omitted
+// fields take defaults.
 func (s Spec) canonicalize() (Spec, error) {
 	if s.Scale == 0 {
 		s.Scale = core.DefaultOptions().Scale
@@ -54,23 +57,42 @@ func (s Spec) canonicalize() (Spec, error) {
 	if s.Scale > 100 {
 		return s, fmt.Errorf("scale %g exceeds the service limit of 100 (the paper's full protocol is ≈ 25)", s.Scale)
 	}
-	if s.Workers < 0 {
-		return s, fmt.Errorf("workers must be >= 0, got %d", s.Workers)
+	if err := validateWorkers(s.Workers); err != nil {
+		return s, err
 	}
-	exps, err := core.ResolveIDs(s.IDs)
+	ids, err := canonicalIDs(s.IDs)
 	if err != nil {
 		return s, err
 	}
-	if len(exps) == len(core.Registry()) {
-		s.IDs = nil
-	} else {
-		ids := make([]string, len(exps))
-		for i, e := range exps {
-			ids[i] = e.ID
-		}
-		s.IDs = ids
-	}
+	s.IDs = ids
 	return s, nil
+}
+
+// validateWorkers enforces the boundary rule for explicit worker counts:
+// nil means "daemon default", anything explicit must be a usable pool size.
+func validateWorkers(w *int) error {
+	if w != nil && *w < 1 {
+		return fmt.Errorf("workers must be >= 1 when given, got %d (omit the field for the daemon default)", *w)
+	}
+	return nil
+}
+
+// canonicalIDs resolves an experiment-ID request to its canonical form:
+// paper order, nil when it names the whole registry. Unknown and duplicate
+// IDs are errors (core.ResolveIDs rejects both).
+func canonicalIDs(req []string) ([]string, error) {
+	exps, err := core.ResolveIDs(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(exps) == len(core.Registry()) {
+		return nil, nil
+	}
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids, nil
 }
 
 // options returns the core run options the spec describes.
@@ -101,11 +123,23 @@ type event struct {
 	data []byte
 }
 
+// Kind distinguishes the two request shapes sharing the job machinery.
+type Kind string
+
+const (
+	// KindRun is a single-configuration job (POST /v1/jobs).
+	KindRun Kind = "run"
+	// KindSweep is a batched multi-configuration job (POST /v1/sweeps).
+	KindSweep Kind = "sweep"
+)
+
 // job is one accepted spec working through the queue. The event log is kept
 // for the job's lifetime so late SSE subscribers replay the full stream.
 type job struct {
-	id   string // content address; also the cache key
-	spec Spec
+	id    string // content address; also the cache key
+	kind  Kind
+	spec  Spec      // valid when kind == KindRun
+	sweep SweepSpec // valid when kind == KindSweep
 
 	mu       sync.Mutex
 	state    State
@@ -115,6 +149,9 @@ type job struct {
 	payload  []byte // canonical result JSON once done
 	errMsg   string
 	cached   bool // payload came from the cache, no simulation ran
+	// cachedConfigs marks, for sweep jobs, which configurations were
+	// served from the per-config cache instead of running.
+	cachedConfigs []bool
 
 	events []event
 	subs   map[chan event]struct{}
@@ -122,7 +159,14 @@ type job struct {
 
 func newJob(spec Spec) *job {
 	return &job{
-		id: spec.key(), spec: spec, state: StateQueued,
+		id: spec.key(), kind: KindRun, spec: spec, state: StateQueued,
+		created: time.Now(), subs: map[chan event]struct{}{},
+	}
+}
+
+func newSweepJob(spec SweepSpec) *job {
+	return &job{
+		id: spec.key(), kind: KindSweep, sweep: spec, state: StateQueued,
 		created: time.Now(), subs: map[chan event]struct{}{},
 	}
 }
@@ -190,20 +234,29 @@ func (j *job) subscribe() (history []event, ch chan event, cancel func()) {
 	}
 }
 
-// Status is the wire form of a job's state, served by GET /v1/jobs/{id}.
+// Status is the wire form of a job's state, served by GET /v1/jobs/{id}
+// and listed by GET /v1/jobs.
 type Status struct {
 	ID    string `json:"id"`
+	Kind  Kind   `json:"kind"`
 	State State  `json:"state"`
-	Spec  Spec   `json:"spec"`
+	// Spec is the canonical request of a run job; Sweep of a sweep job.
+	// Exactly one is present.
+	Spec  Spec       `json:"spec,omitzero"`
+	Sweep *SweepSpec `json:"sweep,omitempty"`
 	// Cached reports that the results were served from the content-
 	// addressed cache without running a simulation.
-	Cached         bool    `json:"cached,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// CachedConfigs marks, for sweep jobs, which configurations were
+	// served from the per-config cache (request order).
+	CachedConfigs  []bool  `json:"cached_configs,omitempty"`
 	CreatedAt      string  `json:"created_at"`
 	StartedAt      string  `json:"started_at,omitempty"`
 	FinishedAt     string  `json:"finished_at,omitempty"`
 	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
 	Error          string  `json:"error,omitempty"`
-	// Results embeds the canonical report.JSONReport document once done.
+	// Results embeds the canonical document once done: report.JSONReport
+	// for run jobs, report.JSONSweep for sweep jobs.
 	Results json.RawMessage `json:"results,omitempty"`
 }
 
@@ -212,9 +265,17 @@ func (j *job) status(includeResults bool) Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID: j.id, State: j.state, Spec: j.spec, Cached: j.cached,
+		ID: j.id, Kind: j.kind, State: j.state, Cached: j.cached,
 		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
 		Error:     j.errMsg,
+	}
+	switch j.kind {
+	case KindSweep:
+		sweep := j.sweep
+		st.Sweep = &sweep
+		st.CachedConfigs = append([]bool(nil), j.cachedConfigs...)
+	default:
+		st.Spec = j.spec
 	}
 	if !j.started.IsZero() {
 		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)

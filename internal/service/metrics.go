@@ -36,6 +36,10 @@ type metrics struct {
 	badRequests  uint64
 	queueRejects uint64 // bounded queue was full
 
+	sweepsQueued       uint64 // sweep jobs accepted onto the queue
+	sweepConfigsRun    uint64 // sweep configurations that simulated
+	sweepConfigsCached uint64 // sweep configurations served from the cache
+
 	experiments map[string]*latency
 }
 
@@ -96,6 +100,9 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	counter("zen2eed_cache_misses_total", "Requests that required a new simulation run.", m.cacheMisses)
 	counter("zen2eed_bad_requests_total", "Rejected malformed or invalid job requests.", m.badRequests)
 	counter("zen2eed_queue_rejections_total", "Jobs rejected because the bounded queue was full.", m.queueRejects)
+	counter("zen2eed_sweeps_queued_total", "Sweep jobs accepted onto the run queue.", m.sweepsQueued)
+	counter("zen2eed_sweep_configs_run_total", "Sweep configurations that required a simulation run.", m.sweepConfigsRun)
+	counter("zen2eed_sweep_configs_cached_total", "Sweep configurations served from the per-config result cache.", m.sweepConfigsCached)
 	gauge("zen2eed_jobs_running", "Jobs currently executing.", float64(m.jobsRunning))
 	gauge("zen2eed_queue_depth", "Jobs waiting on the run queue.", float64(g.queueDepth))
 	gauge("zen2eed_queue_capacity", "Bounded run queue capacity.", float64(g.queueCap))

@@ -10,9 +10,18 @@
 // (singleflight) — under heavy duplicate traffic each distinct simulation
 // executes exactly once and everyone else gets the cached bytes.
 //
+// Sweeps are first-class requests: POST /v1/sweeps batches many (Scale,
+// Seed) configurations of one experiment set into a single job whose
+// shards share the executor pool, and the content addressing is *per
+// configuration* — a sweep only runs the configurations no single job (or
+// earlier sweep) has computed, and everything it completes is served to
+// later single jobs from the same cache.
+//
 // Endpoints:
 //
 //	POST /v1/jobs               submit {ids, scale, seed, workers}
+//	POST /v1/sweeps             submit {ids, configs | scales × seeds, workers}
+//	GET  /v1/jobs               list active and recent jobs (newest first)
 //	GET  /v1/jobs/{id}          job status, results embedded when done
 //	GET  /v1/jobs/{id}/result   the canonical result JSON document (bytes
 //	                            are identical across repeated requests)
@@ -39,6 +48,12 @@ import (
 // the pool.
 type Runner func(ids []string, o core.Options, cfg core.RunConfig, progress func(core.Progress)) ([]*core.Result, error)
 
+// SweepRunner executes the missing configurations of a sweep job as one
+// merged scheduler run; core.RunSweep in production, injectable for tests
+// (which observe exactly which configurations the daemon did not serve
+// from cache).
+type SweepRunner func(sw core.Sweep, cfg core.RunConfig, progress func(core.Progress)) (*core.SweepResult, error)
+
 // Config sizes the daemon.
 type Config struct {
 	// QueueDepth bounds the number of jobs waiting to run (default 64);
@@ -57,8 +72,15 @@ type Config struct {
 	// finished jobs are evicted first, and their payloads remain available
 	// through the result cache until it too evicts them.
 	JobHistory int
+	// SSEKeepAlive is the idle interval after which progress streams emit
+	// an SSE comment frame (": ping") so proxies do not drop long-running
+	// sweep connections (default 15s).
+	SSEKeepAlive time.Duration
 	// Runner overrides the experiment runner (tests); nil means core.RunIDs.
 	Runner Runner
+	// SweepRunner overrides the sweep runner (tests); nil means
+	// core.RunSweep.
+	SweepRunner SweepRunner
 }
 
 func (c Config) withDefaults() Config {
@@ -74,8 +96,14 @@ func (c Config) withDefaults() Config {
 	if c.JobHistory <= 0 {
 		c.JobHistory = 4096
 	}
+	if c.SSEKeepAlive <= 0 {
+		c.SSEKeepAlive = 15 * time.Second
+	}
 	if c.Runner == nil {
 		c.Runner = core.RunIDsConfig
+	}
+	if c.SweepRunner == nil {
+		c.SweepRunner = core.RunSweep
 	}
 	return c
 }
@@ -88,6 +116,11 @@ type Server struct {
 	queue   chan *job
 	cache   *resultCache
 	metrics *metrics
+	// running is the per-configuration singleflight: executors claim each
+	// configuration before simulating it, so a sweep and a single job (or
+	// two overlapping sweeps) covering the same configuration under
+	// different job addresses still run it exactly once.
+	running *inflight
 	// slots is the shared executor pool: every shard of every running job
 	// holds one slot while it executes, so Executors bounds the daemon's
 	// total simulation concurrency at shard granularity.
@@ -111,11 +144,14 @@ func New(cfg Config) *Server {
 		queue:   make(chan *job, cfg.QueueDepth),
 		cache:   newResultCache(cfg.CacheEntries),
 		metrics: newMetrics(),
+		running: newInflight(),
 		slots:   make(chan struct{}, cfg.Executors),
 		jobs:    map[string]*job{},
 		quit:    make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
@@ -147,11 +183,7 @@ func (s *Server) Close() {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		s.metrics.add(&s.metrics.badRequests, 1)
-		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+	if !decodeSpec(w, r, &spec, "job", s.metrics) {
 		return
 	}
 	spec, err := spec.canonicalize()
@@ -160,8 +192,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
-	key := spec.key()
+	s.admit(w, func() *job { return newJob(spec) }, spec.key())
+}
 
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	if !decodeSpec(w, r, &spec, "sweep", s.metrics) {
+		return
+	}
+	spec, err := spec.canonicalize()
+	if err != nil {
+		s.metrics.add(&s.metrics.badRequests, 1)
+		writeError(w, http.StatusBadRequest, "invalid sweep spec: %v", err)
+		return
+	}
+	s.admit(w, func() *job { return newSweepJob(spec) }, spec.key())
+}
+
+// decodeSpec reads a bounded, strictly-validated JSON request body; label
+// names the spec shape ("job", "sweep") in error responses.
+func decodeSpec(w http.ResponseWriter, r *http.Request, into any, label string, m *metrics) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		m.add(&m.badRequests, 1)
+		writeError(w, http.StatusBadRequest, "invalid %s spec: %v", label, err)
+		return false
+	}
+	return true
+}
+
+// admit is the shared admission path for run and sweep submissions:
+// singleflight onto an identical live or finished job, materialization
+// from the content-addressed cache, then the bounded queue. build
+// constructs the job only when one is actually needed.
+func (s *Server) admit(w http.ResponseWriter, build func() *job, key string) {
 	s.mu.Lock()
 	if j, ok := s.jobs[key]; ok && j.currentState() != StateFailed {
 		// Singleflight: an identical job already exists. A finished job is
@@ -178,7 +243,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if payload, ok := s.cache.get(key); ok {
 		// The job record was evicted but the payload survived: materialize
 		// a completed job from the cache without running anything.
-		j := newJob(spec)
+		j := build()
 		j.completeFromCache(payload)
 		s.insertLocked(j)
 		s.metrics.add(&s.metrics.cacheHits, 1)
@@ -186,7 +251,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, j.status(true))
 		return
 	}
-	j := newJob(spec)
+	j := build()
 	select {
 	case s.queue <- j:
 	default:
@@ -199,6 +264,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.insertLocked(j)
 	s.metrics.add(&s.metrics.cacheMisses, 1)
 	s.metrics.add(&s.metrics.jobsQueued, 1)
+	if j.kind == KindSweep {
+		s.metrics.add(&s.metrics.sweepsQueued, 1)
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, j.status(false))
 }
@@ -241,6 +309,22 @@ func (s *Server) lookup(r *http.Request) (*job, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[r.PathValue("id")]
 	return j, ok
+}
+
+// handleJobs lists active and recent jobs, newest first, without embedded
+// result payloads — the address book for jobs whose id the client lost
+// (before this endpoint, a job was only reachable if the submit response
+// had been saved). Cached tells a reader which entries never simulated.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]Status, 0, len(s.jobOrder))
+	for i := len(s.jobOrder) - 1; i >= 0; i-- {
+		if j, ok := s.jobs[s.jobOrder[i]]; ok {
+			out = append(out, j.status(false))
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -291,6 +375,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeSSE(w, e)
 	}
 	flusher.Flush()
+	// Keepalive: long sweeps can sit minutes between progress events, and
+	// idle HTTP streams are what proxies reap first. Comment frames are
+	// invisible to SSE consumers but reset intermediary idle timers.
+	keepalive := time.NewTicker(s.cfg.SSEKeepAlive)
+	defer keepalive.Stop()
 	for {
 		select {
 		case e, ok := <-live:
@@ -298,6 +387,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return // terminal event delivered; stream complete
 			}
 			writeSSE(w, e)
+			flusher.Flush()
+		case <-keepalive.C:
+			fmt.Fprint(w, ": ping\n\n")
 			flusher.Flush()
 		case <-r.Context().Done():
 			return
@@ -346,17 +438,29 @@ func (s *Server) executor() {
 		case <-s.quit:
 			return
 		case j := <-s.queue:
-			s.execute(j)
+			j.setRunning()
+			s.metrics.addRunning(1)
+			switch j.kind {
+			case KindSweep:
+				s.executeSweep(j)
+			default:
+				s.execute(j)
+			}
+			s.metrics.addRunning(-1)
 		}
 	}
 }
 
 // progressEvent is the SSE wire form of core.Progress. Shard-level events
 // carry shard in 1..shards; experiment-completion events omit shard (the
-// pre-shard wire shape, which existing consumers key on).
+// pre-shard wire shape, which existing consumers key on). config/configs
+// locate the event within a sweep's configuration list; single jobs always
+// report config 0 of 1.
 type progressEvent struct {
 	ID             string  `json:"id"`
 	Index          int     `json:"index"`
+	Config         int     `json:"config"`
+	Configs        int     `json:"configs"`
 	Shard          int     `json:"shard,omitempty"`
 	Shards         int     `json:"shards,omitempty"`
 	Label          string  `json:"label,omitempty"`
@@ -382,35 +486,72 @@ func (s *Server) acquireSlot() func() {
 	return func() { <-s.slots }
 }
 
-func (s *Server) execute(j *job) {
-	j.setRunning()
-	s.metrics.addRunning(1)
-	defer s.metrics.addRunning(-1)
-
-	// The job's scheduler spawns up to Executors workers (or the spec's
-	// explicit count), but actual concurrency is governed by the shared
-	// slot pool — a lone job spreads over every slot, concurrent jobs
-	// split them.
-	workers := j.spec.Workers
-	if workers <= 0 {
-		workers = s.cfg.Executors
+// workersFor resolves a job-level worker override: the scheduler spawns
+// up to Executors workers unless the spec pins a count; actual concurrency
+// is governed by the shared slot pool either way — a lone job spreads over
+// every slot, concurrent jobs split them.
+func (s *Server) workersFor(override *int) int {
+	if override != nil {
+		return *override
 	}
-	runCfg := core.RunConfig{Workers: workers, Acquire: s.acquireSlot}
+	return s.cfg.Executors
+}
+
+// progressPublisher adapts core.Progress events into the job's SSE stream
+// (observing experiment latency metrics along the way). remapConfig
+// translates the scheduler's configuration index into the client's request
+// index — identity for single jobs, the missing-subset mapping for sweeps
+// — and configs is the request's total configuration count.
+func (s *Server) progressPublisher(j *job, remapConfig func(int) int, configs int) func(core.Progress) {
+	return func(p core.Progress) {
+		if p.ExperimentDone() && p.Err == nil {
+			s.metrics.observeExperiment(p.ID, p.Elapsed)
+		}
+		ev := progressEvent{
+			ID: p.ID, Index: p.Index, Shard: p.Shard, Shards: p.Shards,
+			Config: remapConfig(p.Config), Configs: configs,
+			Label: p.Label, Done: p.Done, Total: p.Total,
+			ElapsedSeconds: p.Elapsed.Seconds(),
+		}
+		if p.Err != nil {
+			ev.Error = p.Err.Error()
+		}
+		j.publish("progress", ev)
+	}
+}
+
+func (s *Server) execute(j *job) {
+	// Per-configuration singleflight: a sweep may be simulating this very
+	// configuration under a different job address. Wait for the holder and
+	// take the cached payload instead of running a duplicate; claims are
+	// only held by executing jobs, so the wait always ends.
+	for {
+		wait, claimed := s.running.begin(j.id)
+		if claimed {
+			break
+		}
+		<-wait
+		if payload, ok := s.cache.get(j.id); ok {
+			j.setDoneCached(payload)
+			s.metrics.add(&s.metrics.cacheHits, 1)
+			s.metrics.add(&s.metrics.jobsDone, 1)
+			return
+		}
+		// The holder failed; retry the claim and run it ourselves.
+	}
+	defer s.running.end(j.id)
+	if payload, ok := s.cache.get(j.id); ok {
+		// Double-check after claiming: the previous holder may have
+		// finished between our admission-time probe and now.
+		j.setDoneCached(payload)
+		s.metrics.add(&s.metrics.cacheHits, 1)
+		s.metrics.add(&s.metrics.jobsDone, 1)
+		return
+	}
+
+	runCfg := core.RunConfig{Workers: s.workersFor(j.spec.Workers), Acquire: s.acquireSlot}
 	results, err := s.cfg.Runner(j.spec.IDs, j.spec.options(), runCfg,
-		func(p core.Progress) {
-			if p.ExperimentDone() && p.Err == nil {
-				s.metrics.observeExperiment(p.ID, p.Elapsed)
-			}
-			ev := progressEvent{
-				ID: p.ID, Index: p.Index, Shard: p.Shard, Shards: p.Shards,
-				Label: p.Label, Done: p.Done, Total: p.Total,
-				ElapsedSeconds: p.Elapsed.Seconds(),
-			}
-			if p.Err != nil {
-				ev.Error = p.Err.Error()
-			}
-			j.publish("progress", ev)
-		})
+		s.progressPublisher(j, func(ci int) int { return ci }, 1))
 	if err == nil {
 		var payload []byte
 		if payload, err = report.MarshalResults(results, j.spec.options()); err == nil {
@@ -454,6 +595,17 @@ func (j *job) setDone(payload []byte) {
 	})
 }
 
+// setDoneCached finishes a running job with a payload another executor
+// (or an earlier run) produced — the per-configuration singleflight's hit
+// path, distinct from completeFromCache, which never left the submit
+// handler.
+func (j *job) setDoneCached(payload []byte) {
+	j.mu.Lock()
+	j.cached = true
+	j.mu.Unlock()
+	j.setDone(payload)
+}
+
 func (j *job) setFailed(err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -477,6 +629,12 @@ func (j *job) completeFromCache(payload []byte) {
 	j.state = StateDone
 	j.payload = payload
 	j.cached = true
+	if j.kind == KindSweep {
+		j.cachedConfigs = make([]bool, len(j.sweep.Configs))
+		for i := range j.cachedConfigs {
+			j.cachedConfigs[i] = true
+		}
+	}
 	j.started = j.created
 	j.finished = j.created
 	j.publishLocked("done", terminalEvent{ID: j.id, State: StateDone})

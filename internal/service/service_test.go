@@ -22,6 +22,8 @@ import (
 // (fig1 ≈ 100 µs, sec5a ≈ 10 ms at this scale).
 const testSpecJSON = `{"ids":["fig1","sec5a"],"scale":0.2,"seed":3}`
 
+func intp(v int) *int { return &v }
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(cfg)
@@ -440,9 +442,8 @@ func TestSpecCanonicalization(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, same := range []Spec{
-		{IDs: []string{"fig3", "fig1"}, Scale: 0.5, Seed: 2},             // order
-		{IDs: []string{"fig1", "fig3", "fig1"}, Scale: 0.5, Seed: 2},     // dupes
-		{IDs: []string{"fig1", "fig3"}, Scale: 0.5, Seed: 2, Workers: 8}, // workers excluded
+		{IDs: []string{"fig3", "fig1"}, Scale: 0.5, Seed: 2},                   // order
+		{IDs: []string{"fig1", "fig3"}, Scale: 0.5, Seed: 2, Workers: intp(8)}, // workers excluded
 	} {
 		c, err := same.canonicalize()
 		if err != nil {
@@ -455,6 +456,11 @@ func TestSpecCanonicalization(t *testing.T) {
 	other, _ := Spec{IDs: []string{"fig1"}, Scale: 0.5, Seed: 2}.canonicalize()
 	if other.key() == base.key() {
 		t.Error("different experiment sets share a key")
+	}
+
+	// Duplicate IDs are a caller bug and must be rejected, not collapsed.
+	if _, err := (Spec{IDs: []string{"fig1", "fig3", "fig1"}, Scale: 0.5, Seed: 2}).canonicalize(); err == nil {
+		t.Error("duplicate experiment IDs accepted")
 	}
 
 	// Defaults: zero scale/seed become the registry defaults; naming every
@@ -482,19 +488,21 @@ func TestSpecCanonicalization(t *testing.T) {
 func TestSubmitValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	for name, body := range map[string]string{
-		"malformed JSON": `{"ids":`,
-		"unknown field":  `{"sacle":2}`,
-		"unknown id":     `{"ids":["nonexistent"]}`,
-		"negative scale": `{"scale":-1}`,
-		"huge scale":     `{"scale":5000}`,
-		"bad workers":    `{"workers":-2}`,
+		"malformed JSON":   `{"ids":`,
+		"unknown field":    `{"sacle":2}`,
+		"unknown id":       `{"ids":["nonexistent"]}`,
+		"duplicate ids":    `{"ids":["fig1","fig1"]}`,
+		"negative scale":   `{"scale":-1}`,
+		"huge scale":       `{"scale":5000}`,
+		"negative workers": `{"workers":-2}`,
+		"zero workers":     `{"workers":0}`,
 	} {
 		if _, code := postJob(t, ts, body); code != http.StatusBadRequest {
 			t.Errorf("%s: got %d, want 400", name, code)
 		}
 	}
 	metricsText, _ := getBody(t, ts.URL+"/metrics")
-	if !strings.Contains(metricsText, "zen2eed_bad_requests_total 6") {
+	if !strings.Contains(metricsText, "zen2eed_bad_requests_total 8") {
 		t.Errorf("bad requests not accounted:\n%s", metricsText)
 	}
 }

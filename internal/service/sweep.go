@@ -1,0 +1,223 @@
+// The sweep request path: POST /v1/sweeps batches many (Scale, Seed)
+// configurations of one experiment set into a single job. The daemon
+// content-addresses sweeps *per configuration*: before running anything it
+// checks each configuration against the same cache single jobs populate,
+// hands only the missing configurations to one merged core.RunSweep call
+// (so their shards share the executor pool), and stores every completed
+// configuration back under its single-job key — a sweep warms the cache
+// for later single jobs and vice versa.
+
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"zen2ee/internal/core"
+	"zen2ee/internal/report"
+)
+
+// maxSweepConfigs bounds one sweep request; larger studies split into
+// multiple sweeps (which the per-config cache makes cheap to resume).
+const maxSweepConfigs = 256
+
+// SweepSpec is a sweep request: one experiment set evaluated at many
+// configurations. Configurations are given either explicitly (configs) or
+// as a scales × seeds cross-product — not both.
+type SweepSpec struct {
+	// IDs selects experiments; empty means the full suite. Duplicate IDs
+	// are rejected, not collapsed.
+	IDs []string `json:"ids,omitempty"`
+	// Configs lists the (scale, seed) points explicitly. Zero fields take
+	// the registry defaults (Scale 1, Seed 1).
+	Configs []core.Config `json:"configs,omitempty"`
+	// Scales and Seeds expand to their cross-product when Configs is
+	// empty; an empty axis defaults to the single default value.
+	Scales []float64 `json:"scales,omitempty"`
+	Seeds  []uint64  `json:"seeds,omitempty"`
+	// Workers bounds the sweep's scheduler pool (omitted = daemon
+	// executor count; explicit values must be >= 1). Not part of the
+	// sweep's identity.
+	Workers *int `json:"workers,omitempty"`
+}
+
+// canonicalize validates the sweep and rewrites it into canonical form:
+// the grid expanded into explicit configs with defaults applied, IDs in
+// paper order (nil for the full registry). Like Spec.canonicalize it
+// rejects rather than coerces: invalid scales, worker counts below 1,
+// duplicate experiment IDs, and duplicate configurations are a 400.
+func (s SweepSpec) canonicalize() (SweepSpec, error) {
+	if len(s.Configs) > 0 && (len(s.Scales) > 0 || len(s.Seeds) > 0) {
+		return s, fmt.Errorf("give either configs or a scales/seeds grid, not both")
+	}
+	if len(s.Configs) == 0 {
+		if len(s.Scales) == 0 && len(s.Seeds) == 0 {
+			return s, fmt.Errorf("a sweep needs configs or a scales/seeds grid")
+		}
+		s.Configs = core.Grid(s.Scales, s.Seeds)
+	}
+	s.Scales, s.Seeds = nil, nil
+	if len(s.Configs) > maxSweepConfigs {
+		return s, fmt.Errorf("sweep has %d configurations, the service limit is %d", len(s.Configs), maxSweepConfigs)
+	}
+	for i := range s.Configs {
+		if s.Configs[i].Scale == 0 {
+			s.Configs[i].Scale = core.DefaultOptions().Scale
+		}
+		if s.Configs[i].Seed == 0 {
+			s.Configs[i].Seed = core.DefaultOptions().Seed
+		}
+		if s.Configs[i].Scale > 100 {
+			return s, fmt.Errorf("config %d: scale %g exceeds the service limit of 100", i, s.Configs[i].Scale)
+		}
+	}
+	if err := (core.Sweep{Configs: s.Configs}).Validate(); err != nil {
+		return s, err
+	}
+	if err := validateWorkers(s.Workers); err != nil {
+		return s, err
+	}
+	ids, err := canonicalIDs(s.IDs)
+	if err != nil {
+		return s, err
+	}
+	s.IDs = ids
+	return s, nil
+}
+
+// key is the sweep's content address over the canonical experiment set and
+// configuration list. The "sweep;" prefix keeps it in a distinct keyspace
+// from single-job addresses; Workers is excluded like Spec.Workers.
+func (s SweepSpec) key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "sweep;ids=%s", strings.Join(s.IDs, ","))
+	for _, c := range s.Configs {
+		fmt.Fprintf(h, ";%s:%d", strconv.FormatFloat(c.Scale, 'g', -1, 64), c.Seed)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// configKey is the content address configuration i shares with a single
+// job for the same (experiment set, Scale, Seed) — the seam through which
+// sweeps and single jobs hit each other's cache entries.
+func (s SweepSpec) configKey(i int) string {
+	return Spec{IDs: s.IDs, Scale: s.Configs[i].Scale, Seed: s.Configs[i].Seed}.key()
+}
+
+// configCachedEvent is the SSE wire form of a configuration served from
+// the per-config cache without running.
+type configCachedEvent struct {
+	Config  int  `json:"config"`
+	Configs int  `json:"configs"`
+	Cached  bool `json:"cached"`
+}
+
+// executeSweep drives a sweep job: per-config cache probe and
+// singleflight claim, one merged scheduler run over the configurations
+// this job claimed, per-config cache fill, then a wait-and-reprobe round
+// for configurations another executor was already simulating —
+// sweep-document assembly once every section is in hand.
+func (s *Server) executeSweep(j *job) {
+	spec := j.sweep
+	n := len(spec.Configs)
+	payloads := make([][]byte, n)
+	cached := make([]bool, n)
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		// Classify every unresolved configuration: cached, claimed by this
+		// job (we run it), or claimed by a concurrent job (we wait).
+		var mine []int
+		var theirs []int
+		var waits []<-chan struct{}
+		for _, i := range pending {
+			wait, claimed := s.running.begin(spec.configKey(i))
+			if !claimed {
+				theirs = append(theirs, i)
+				waits = append(waits, wait)
+				continue
+			}
+			if p, ok := s.cache.get(spec.configKey(i)); ok {
+				s.running.end(spec.configKey(i))
+				payloads[i], cached[i] = p, true
+				s.metrics.add(&s.metrics.sweepConfigsCached, 1)
+				j.publish("config-cached", configCachedEvent{Config: i, Configs: n, Cached: true})
+				continue
+			}
+			mine = append(mine, i)
+		}
+		j.setCachedConfigs(cached)
+
+		if len(mine) > 0 {
+			missing := make([]core.Config, len(mine))
+			for k, i := range mine {
+				missing[k] = spec.Configs[i]
+			}
+			releaseMine := func() {
+				for _, i := range mine {
+					s.running.end(spec.configKey(i))
+				}
+			}
+			runCfg := core.RunConfig{Workers: s.workersFor(spec.Workers), Acquire: s.acquireSlot}
+			// Remap the scheduler's index within the claimed subset onto
+			// the request's configuration list, so stream consumers see
+			// the indices they asked for.
+			sr, err := s.cfg.SweepRunner(core.Sweep{IDs: spec.IDs, Configs: missing}, runCfg,
+				s.progressPublisher(j, func(ci int) int { return mine[ci] }, n))
+			if err == nil && len(sr.Runs) != len(missing) {
+				err = fmt.Errorf("sweep runner returned %d config sections for %d configurations", len(sr.Runs), len(missing))
+			}
+			if err != nil {
+				releaseMine()
+				j.setFailed(err)
+				s.metrics.add(&s.metrics.jobsFailed, 1)
+				return
+			}
+			for k, run := range sr.Runs {
+				payload, merr := report.MarshalResults(run.Results, run.Config)
+				if merr != nil {
+					releaseMine()
+					j.setFailed(fmt.Errorf("encoding config (scale %g, seed %d) results: %w", run.Config.Scale, run.Config.Seed, merr))
+					s.metrics.add(&s.metrics.jobsFailed, 1)
+					return
+				}
+				payloads[mine[k]] = payload
+				s.cache.put(spec.configKey(mine[k]), payload)
+				s.metrics.add(&s.metrics.sweepConfigsRun, 1)
+			}
+			releaseMine()
+		}
+
+		// Only now — holding no claims of our own — wait for concurrent
+		// holders of the remaining configurations, then reprobe: the next
+		// round either finds their payloads in the cache or, if a holder
+		// failed, claims and runs those configurations itself.
+		for _, w := range waits {
+			<-w
+		}
+		pending = theirs
+	}
+
+	doc, err := report.MarshalSweepSections(spec.IDs, spec.Configs, payloads)
+	if err != nil {
+		j.setFailed(fmt.Errorf("encoding sweep document: %w", err))
+		s.metrics.add(&s.metrics.jobsFailed, 1)
+		return
+	}
+	s.cache.put(j.id, doc)
+	j.setDone(doc)
+	s.metrics.add(&s.metrics.jobsDone, 1)
+}
+
+// setCachedConfigs records which configurations the sweep served from
+// cache (visible in Status.CachedConfigs while the rest still run).
+func (j *job) setCachedConfigs(cached []bool) {
+	j.mu.Lock()
+	j.cachedConfigs = append([]bool(nil), cached...)
+	j.mu.Unlock()
+}

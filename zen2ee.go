@@ -427,3 +427,40 @@ func RunExperimentSet(ids []string, o Options, workers int, progress func(Progre
 func RunExperimentSetConfig(ids []string, o Options, cfg RunConfig, progress func(Progress)) ([]*Result, error) {
 	return core.RunIDsConfig(ids, o, cfg, progress)
 }
+
+// --- Sweeps: the batched (Scale, Seed) configuration grid ---
+
+// Config re-exports one point of a sweep grid — a (Scale, Seed) pair. It
+// is the same value type as Options under a name that reads as a grid
+// point.
+type Config = core.Config
+
+// Sweep re-exports the batched run request: one experiment set (empty IDs
+// = the full registry) evaluated at every listed configuration.
+type Sweep = core.Sweep
+
+// ConfigResult re-exports one configuration's section of a sweep outcome.
+type ConfigResult = core.ConfigResult
+
+// SweepResult re-exports the reduction of a sweep: per-configuration
+// result sets in request order, each identical to the standalone
+// RunExperimentSet output for that configuration.
+type SweepResult = core.SweepResult
+
+// Grid expands the Scales × Seeds cross-product into sweep configurations
+// (scales outermost); an empty axis defaults to the single default value.
+func Grid(scales []float64, seeds []uint64) []Config { return core.Grid(scales, seeds) }
+
+// RunSweep executes a batched sweep: every (configuration, experiment,
+// shard) triple is an independent unit fanned across one worker pool, so
+// a multi-configuration sensitivity study saturates the same pool a
+// single heavy run does instead of serializing configuration by
+// configuration. Batching never changes results — each per-configuration
+// section is byte-identical (through the canonical JSON document) to the
+// standalone single-configuration run. Failures are partial, like the
+// other schedulers: surviving sections come back alongside one joined
+// error. This is the entry point the zen2eed daemon serves POST
+// /v1/sweeps through.
+func RunSweep(sw Sweep, cfg RunConfig, progress func(Progress)) (*SweepResult, error) {
+	return core.RunSweep(sw, cfg, progress)
+}
