@@ -1,0 +1,173 @@
+// Command benchdiff compares two benchmark result files in `go test -json`
+// form (the BENCH_* artifacts CI uploads) and prints an old-vs-new table of
+// ns/op, B/op and allocs/op per benchmark, with relative deltas — a
+// dependency-free benchstat for the repository's perf-trajectory artifacts.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//
+// Exit status is 0 even when benchmarks regress: the tool makes regressions
+// visible in the CI log, it does not gate on them (simulation benchmarks on
+// shared runners are too noisy for a hard threshold).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics holds the standard per-benchmark measurements.
+type metrics struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	HasMem      bool
+}
+
+// testEvent is the subset of the test2json event schema benchdiff consumes.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// parseFile extracts benchmark results from a test2json stream. Lines that
+// are not valid JSON events are tolerated (plain `go test -bench` output can
+// be diffed too, one result line per line).
+func parseFile(r io.Reader) (map[string]metrics, error) {
+	out := make(map[string]metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err == nil && ev.Action == "output" {
+			line = strings.TrimSuffix(ev.Output, "\n")
+		}
+		name, m, ok := parseBenchLine(line)
+		if ok {
+			out[name] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkName-8   1234   567.8 ns/op   90 B/op   1 allocs/op   2 extra/unit
+func parseBenchLine(line string) (string, metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", metrics{}, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", metrics{}, false // not an iteration count
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the GOMAXPROCS suffix so runs from different machines align.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var m metrics
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", metrics{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+		case "B/op":
+			m.BytesPerOp = v
+			m.HasMem = true
+		case "allocs/op":
+			m.AllocsPerOp = v
+			m.HasMem = true
+		}
+	}
+	return name, m, true
+}
+
+// delta formats the relative change from old to new.
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "      ="
+		}
+		return "    new"
+	}
+	return fmt.Sprintf("%+6.1f%%", (new-old)/old*100)
+}
+
+func run(oldPath, newPath string, w io.Writer) error {
+	oldF, err := os.Open(oldPath)
+	if err != nil {
+		return err
+	}
+	defer oldF.Close()
+	newF, err := os.Open(newPath)
+	if err != nil {
+		return err
+	}
+	defer newF.Close()
+
+	olds, err := parseFile(oldF)
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", oldPath, err)
+	}
+	news, err := parseFile(newF)
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", newPath, err)
+	}
+	if len(news) == 0 {
+		return fmt.Errorf("no benchmark results in %s", newPath)
+	}
+
+	names := make([]string, 0, len(news))
+	for name := range news {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %9s %9s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ", "old B/op", "new B/op", "Δ",
+		"old allocs", "new allocs", "Δ")
+	for _, name := range names {
+		n := news[name]
+		o, ok := olds[name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %14s %14.1f %8s %9s %9.0f %8s %10s %10.0f %8s\n",
+				name, "-", n.NsPerOp, "new", "-", n.BytesPerOp, "new", "-", n.AllocsPerOp, "new")
+			continue
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.1f %8s %9.0f %9.0f %8s %10.0f %10.0f %8s\n",
+			name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
+			o.BytesPerOp, n.BytesPerOp, delta(o.BytesPerOp, n.BytesPerOp),
+			o.AllocsPerOp, n.AllocsPerOp, delta(o.AllocsPerOp, n.AllocsPerOp))
+	}
+	for name := range olds {
+		if _, ok := news[name]; !ok {
+			fmt.Fprintf(w, "%-40s (removed)\n", name)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff old.json new.json")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line  string
+		name  string
+		ns    float64
+		alloc float64
+		ok    bool
+	}{
+		{"BenchmarkEngineScheduleFire-8   \t100000\t        12.35 ns/op\t       0 B/op\t       0 allocs/op", "BenchmarkEngineScheduleFire", 12.35, 0, true},
+		{"BenchmarkMachineRefresh \t5000\t       415.5 ns/op\t     108 B/op\t       1 allocs/op", "BenchmarkMachineRefresh", 415.5, 1, true},
+		{"BenchmarkFig6Firestarter-2 \t1\t123456 ns/op\t2.03 GHz/smt", "BenchmarkFig6Firestarter", 123456, 0, true},
+		{"PASS", "", 0, 0, false},
+		{"ok  \tzen2ee\t0.015s", "", 0, 0, false},
+		{"Benchmark text without numbers", "", 0, 0, false},
+	}
+	for _, c := range cases {
+		name, m, ok := parseBenchLine(c.line)
+		if ok != c.ok {
+			t.Fatalf("parseBenchLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+		}
+		if !ok {
+			continue
+		}
+		if name != c.name || m.NsPerOp != c.ns || m.AllocsPerOp != c.alloc {
+			t.Errorf("parseBenchLine(%q) = (%q, %+v), want (%q, ns=%v allocs=%v)",
+				c.line, name, m, c.name, c.ns, c.alloc)
+		}
+	}
+}
+
+func TestRunDiffsTest2JSONStreams(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	new := filepath.Join(dir, "new.json")
+	oldData := `{"Action":"output","Output":"BenchmarkEngineScheduleFire-8 \t1000\t50.0 ns/op\t16 B/op\t1 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkGone-8 \t10\t99.0 ns/op\n"}
+{"Action":"run","Test":"BenchmarkEngineScheduleFire"}
+`
+	newData := `{"Action":"output","Output":"BenchmarkEngineScheduleFire-4 \t1000\t12.5 ns/op\t0 B/op\t0 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkFresh-4 \t1000\t7.0 ns/op\t0 B/op\t0 allocs/op\n"}
+`
+	if err := os.WriteFile(old, []byte(oldData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(new, []byte(newData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(old, new, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"BenchmarkEngineScheduleFire", "50.0", "12.5", "-75.0%", "-100.0%",
+		"old B/op", "16",
+		"BenchmarkFresh", "new",
+		"BenchmarkGone", "(removed)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsEmptyNew(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, empty, &strings.Builder{}); err == nil {
+		t.Fatal("expected error for a new file with no benchmark results")
+	}
+}

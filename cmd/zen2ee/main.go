@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -78,6 +80,9 @@ flags (accepted before or after the positional argument):
   -csv         emit rows as CSV instead of aligned tables
   -json        emit the canonical JSON document (identical bytes to what
                the zen2eed daemon serves for the same spec)
+  -cpuprofile F  write a CPU profile of the command to F (like go test's
+               flag); inspect with 'go tool pprof F'
+  -memprofile F  write a post-GC heap profile of the command to F
 
 sweep runs the scales × seeds cross-product of configurations as one
 batched job; each configuration's output section is byte-identical to the
@@ -95,13 +100,15 @@ func list() error {
 // experimentFlags holds the parsed flags shared by run, sweep, and
 // gen-experiments.
 type experimentFlags struct {
-	opts     core.Options
-	scales   []float64 // sweep scale axis (-scales)
-	seeds    []uint64  // sweep seed axis (-seeds)
-	csv      bool
-	jsonOut  bool
-	parallel int // worker count; 0 means runtime.NumCPU()
-	pos      []string
+	opts       core.Options
+	scales     []float64 // sweep scale axis (-scales)
+	seeds      []uint64  // sweep seed axis (-seeds)
+	csv        bool
+	jsonOut    bool
+	parallel   int // worker count; 0 means runtime.NumCPU()
+	cpuprofile string
+	memprofile string
+	pos        []string
 }
 
 // parseExperimentArgs scans args in a single pass, accepting flags before
@@ -168,6 +175,10 @@ func parseExperimentArgs(args []string) (experimentFlags, error) {
 					err = fmt.Errorf("must be >= 1")
 				}
 			}
+		case "cpuprofile":
+			f.cpuprofile, err = takeValue()
+		case "memprofile":
+			f.memprofile, err = takeValue()
 		case "csv":
 			f.csv = true
 			if hasVal {
@@ -268,6 +279,37 @@ func printProgress(p core.Progress) {
 		p.Done, p.Total, cfg, p.ID, p.Elapsed.Round(100*time.Microsecond), status)
 }
 
+// withProfiles brackets a command with pprof collection, mirroring `go
+// test`'s -cpuprofile/-memprofile: the CPU profile covers the command body,
+// and the heap profile is written after a final GC so it reflects live
+// allocations, not collectable garbage.
+func (f experimentFlags) withProfiles(body func() error) error {
+	if f.cpuprofile != "" {
+		g, err := os.Create(f.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		if err := pprof.StartCPUProfile(g); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := body()
+	if f.memprofile != "" {
+		g, merr := os.Create(f.memprofile)
+		if merr != nil {
+			return errors.Join(err, merr)
+		}
+		defer g.Close()
+		runtime.GC()
+		if merr := pprof.WriteHeapProfile(g); merr != nil {
+			return errors.Join(err, merr)
+		}
+	}
+	return err
+}
+
 // runSuite fans the full suite out across the requested workers.
 func runSuite(f experimentFlags) ([]*core.Result, error) {
 	return core.RunAllParallelProgress(f.opts, f.parallel, printProgress)
@@ -297,7 +339,12 @@ func run(args []string) error {
 	if f.csv && f.jsonOut {
 		return fmt.Errorf("-csv and -json are mutually exclusive")
 	}
+	return f.withProfiles(func() error { return runExperiments(f) })
+}
+
+func runExperiments(f experimentFlags) error {
 	var results []*core.Result
+	var err error
 	if f.pos[0] == "all" {
 		results, err = runSuite(f)
 		if err != nil {
@@ -354,31 +401,33 @@ func sweep(args []string) error {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = nil
 	}
-	sw := core.Sweep{IDs: ids, Configs: core.Grid(f.scales, f.seeds)}
-	sr, err := core.RunSweep(sw, core.RunConfig{Workers: f.parallel}, printProgress)
-	if err != nil {
-		// Unlike run, a sweep is usually unattended (it is the batch shape);
-		// partial documents would be mistaken for complete ones.
-		return err
-	}
-	if f.jsonOut {
-		// The canonical sweep document: each per-config section carries the
-		// exact bytes `zen2ee run -json` (and the zen2eed daemon) produce
-		// for that configuration alone.
-		doc, err := report.MarshalSweep(sr)
+	return f.withProfiles(func() error {
+		sw := core.Sweep{IDs: ids, Configs: core.Grid(f.scales, f.seeds)}
+		sr, err := core.RunSweep(sw, core.RunConfig{Workers: f.parallel}, printProgress)
 		if err != nil {
+			// Unlike run, a sweep is usually unattended (it is the batch
+			// shape); partial documents would be mistaken for complete ones.
 			return err
 		}
-		_, err = os.Stdout.Write(doc)
-		return err
-	}
-	for _, run := range sr.Runs {
-		fmt.Printf("==== scale %g, seed %d ====\n\n", run.Config.Scale, run.Config.Seed)
-		for _, r := range run.Results {
-			fmt.Println(r.Table())
+		if f.jsonOut {
+			// The canonical sweep document: each per-config section carries
+			// the exact bytes `zen2ee run -json` (and the zen2eed daemon)
+			// produce for that configuration alone.
+			doc, err := report.MarshalSweep(sr)
+			if err != nil {
+				return err
+			}
+			_, err = os.Stdout.Write(doc)
+			return err
 		}
-	}
-	return nil
+		for _, run := range sr.Runs {
+			fmt.Printf("==== scale %g, seed %d ====\n\n", run.Config.Scale, run.Config.Seed)
+			for _, r := range run.Results {
+				fmt.Println(r.Table())
+			}
+		}
+		return nil
+	})
 }
 
 func genExperiments(args []string) error {
@@ -392,10 +441,12 @@ func genExperiments(args []string) error {
 	if len(f.pos) != 0 {
 		return fmt.Errorf("gen-experiments takes no positional arguments")
 	}
-	results, err := runSuite(f)
-	if err != nil {
+	return f.withProfiles(func() error {
+		results, err := runSuite(f)
+		if err != nil {
+			return err
+		}
+		_, err = report.WriteMarkdown(os.Stdout, results, f.opts)
 		return err
-	}
-	_, err = report.WriteMarkdown(os.Stdout, results, f.opts)
-	return err
+	})
 }

@@ -37,6 +37,8 @@ func TestParseExperimentArgs(t *testing.T) {
 			experimentFlags{opts: opts(1, 1), scales: []float64{1, 2, 4}, seeds: []uint64{1, 2, 3}, pos: []string{"fig7"}}},
 		{"seed list with ranges", []string{"-seeds=2,5..7,10"},
 			experimentFlags{opts: opts(1, 1), seeds: []uint64{2, 5, 6, 7, 10}}},
+		{"profiling flags", []string{"fig7", "-cpuprofile", "cpu.out", "-memprofile=mem.out"},
+			experimentFlags{opts: opts(1, 1), cpuprofile: "cpu.out", memprofile: "mem.out", pos: []string{"fig7"}}},
 	}
 	for _, c := range cases {
 		got, err := parseExperimentArgs(c.args)

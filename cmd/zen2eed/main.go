@@ -6,7 +6,7 @@
 // single jobs use.
 //
 // Usage: zen2eed [-addr :8080] [-executors N] [-queue N] [-cache N]
-// [-sse-keepalive D]
+// [-sse-keepalive D] [-pprof]
 //
 //	curl -d '{"ids":["fig3"],"scale":1,"seed":1}' localhost:8080/v1/jobs
 //	curl -d '{"ids":["fig7"],"scales":[1,2],"seeds":[1,2,3]}' localhost:8080/v1/sweeps
@@ -14,6 +14,11 @@
 //	curl localhost:8080/v1/jobs/<id>/events        # live SSE progress
 //	curl localhost:8080/v1/jobs/<id>/result        # canonical result JSON
 //	curl localhost:8080/metrics
+//
+// With -pprof the standard net/http/pprof handlers are mounted under
+// /debug/pprof/, so hot paths can be profiled on a live daemon:
+//
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=30
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,8 +39,9 @@ import (
 
 // options is the parsed command line.
 type options struct {
-	addr string
-	cfg  service.Config
+	addr  string
+	pprof bool
+	cfg   service.Config
 }
 
 // parseFlags is main's flag handling, separated for testing.
@@ -48,6 +55,8 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&o.cfg.CacheEntries, "cache", 256, "content-addressed result cache entries")
 	fs.DurationVar(&o.cfg.SSEKeepAlive, "sse-keepalive", 15*time.Second,
 		"idle interval between SSE comment frames on progress streams (keeps proxies from dropping long sweeps)")
+	fs.BoolVar(&o.pprof, "pprof", false,
+		"expose net/http/pprof handlers under /debug/pprof/ for in-situ profiling")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -63,6 +72,24 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	return o, nil
 }
 
+// withPprof mounts the net/http/pprof handlers in front of the service when
+// enabled (explicit registration — the daemon does not use the default mux,
+// so the pprof package's init registrations never become reachable without
+// the flag).
+func withPprof(svc http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return svc
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", svc)
+	return mux
+}
+
 func main() {
 	o, err := parseFlags(os.Args[1:], os.Stderr)
 	if err != nil {
@@ -75,7 +102,7 @@ func main() {
 
 	svc := service.New(o.cfg)
 	defer svc.Close()
-	httpServer := &http.Server{Addr: o.addr, Handler: svc}
+	httpServer := &http.Server{Addr: o.addr, Handler: withPprof(svc, o.pprof)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

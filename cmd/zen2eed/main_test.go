@@ -2,23 +2,47 @@ package main
 
 import (
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 )
 
 func TestParseFlags(t *testing.T) {
-	o, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-executors", "4", "-queue", "8", "-cache", "16", "-sse-keepalive", "30s"}, io.Discard)
+	o, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-executors", "4", "-queue", "8", "-cache", "16", "-sse-keepalive", "30s", "-pprof"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if o.addr != "127.0.0.1:9999" || o.cfg.Executors != 4 || o.cfg.QueueDepth != 8 || o.cfg.CacheEntries != 16 || o.cfg.SSEKeepAlive != 30*time.Second {
+	if o.addr != "127.0.0.1:9999" || o.cfg.Executors != 4 || o.cfg.QueueDepth != 8 || o.cfg.CacheEntries != 16 || o.cfg.SSEKeepAlive != 30*time.Second || !o.pprof {
 		t.Fatalf("parsed %+v", o)
 	}
 	if o, err = parseFlags(nil, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if o.addr != ":8080" || o.cfg.Executors != 2 || o.cfg.SSEKeepAlive != 15*time.Second {
+	if o.addr != ":8080" || o.cfg.Executors != 2 || o.cfg.SSEKeepAlive != 15*time.Second || o.pprof {
 		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestWithPprof(t *testing.T) {
+	svc := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot) // sentinel for "reached the service"
+	})
+	probe := func(h http.Handler, path string) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code
+	}
+	off := withPprof(svc, false)
+	if code := probe(off, "/debug/pprof/"); code != http.StatusTeapot {
+		t.Fatalf("pprof disabled: /debug/pprof/ hit status %d, want service sentinel", code)
+	}
+	on := withPprof(svc, true)
+	if code := probe(on, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("pprof enabled: index status %d, want 200", code)
+	}
+	if code := probe(on, "/v1/jobs"); code != http.StatusTeapot {
+		t.Fatalf("pprof enabled: service route status %d, want sentinel", code)
 	}
 }
 

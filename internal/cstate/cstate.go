@@ -103,6 +103,11 @@ type Model struct {
 	// enabled[t][s] — sysfs "disable" files; C0 cannot be disabled.
 	enabled [][NumStates]bool
 
+	// beforeBuf/afterBuf are mutate's reused active-count scratch space;
+	// bufBusy guards against re-entrant mutation (falls back to allocating).
+	beforeBuf, afterBuf []int
+	bufBusy             bool
+
 	// BeforeChange/AfterChange bracket any effective-state mutation so that
 	// power and performance integrators can fold in elapsed time first.
 	BeforeChange func()
@@ -110,6 +115,13 @@ type Model struct {
 	// OnCoreActive is invoked when a core's number of C0 threads changes
 	// (wired to dvfs.Controller.SetActiveThreads).
 	OnCoreActive func(core soc.CoreID, activeThreads int)
+	// Dirty, when set, is invoked with the thread whose state is mutating,
+	// before OnCoreActive and AfterChange fire — the machine layer uses it
+	// to scope its incremental refresh. DirtyAll is invoked instead for
+	// mutations that cannot be attributed to a single thread (topology
+	// online changes).
+	Dirty    func(t soc.ThreadID)
+	DirtyAll func()
 }
 
 // New creates the model with every thread active (C0).
@@ -120,6 +132,8 @@ func New(eng *sim.Engine, top *soc.Topology, cfg Config) *Model {
 		cfg:       cfg,
 		requested: make([]State, top.NumThreads()),
 		enabled:   make([][NumStates]bool, top.NumThreads()),
+		beforeBuf: make([]int, top.NumCores()),
+		afterBuf:  make([]int, top.NumCores()),
 	}
 	for i := range m.enabled {
 		m.enabled[i] = [NumStates]bool{true, true, true}
@@ -145,7 +159,7 @@ func (m *Model) SetEnabled(t soc.ThreadID, s State, enabled bool) error {
 	if s < 0 || int(s) >= NumStates {
 		return fmt.Errorf("cstate: unknown state %d", s)
 	}
-	m.mutate(func() { m.enabled[t][s] = enabled })
+	m.mutate(t, func() { m.enabled[t][s] = enabled })
 	return nil
 }
 
@@ -174,7 +188,7 @@ func (m *Model) EnterIdle(t soc.ThreadID, s State) {
 	if m.requested[t] == s {
 		return
 	}
-	m.mutate(func() { m.requested[t] = s })
+	m.mutate(t, func() { m.requested[t] = s })
 }
 
 // Wake returns a thread to C0 and reports the wake-up latency the waking
@@ -182,7 +196,7 @@ func (m *Model) EnterIdle(t soc.ThreadID, s State) {
 func (m *Model) Wake(t soc.ThreadID, coreMHz float64, remote bool) sim.Duration {
 	prev := m.EffectiveState(t)
 	if m.requested[t] != C0 {
-		m.mutate(func() { m.requested[t] = C0 })
+		m.mutate(t, func() { m.requested[t] = C0 })
 	}
 	return m.WakeLatency(prev, coreMHz, remote)
 }
@@ -209,14 +223,31 @@ func (m *Model) WakeLatency(from State, coreMHz float64, remote bool) sim.Durati
 }
 
 // mutate wraps a state change with the integrator hooks and re-derives the
-// per-core active counts.
-func (m *Model) mutate(f func()) {
+// per-core active counts. t identifies the mutated thread for the dirty
+// hooks; a negative t marks a mutation that may affect every thread.
+func (m *Model) mutate(t soc.ThreadID, f func()) {
 	if m.BeforeChange != nil {
 		m.BeforeChange()
 	}
-	before := m.coreActiveCounts()
+	before, after := m.beforeBuf, m.afterBuf
+	reused := !m.bufBusy && before != nil
+	if reused {
+		m.bufBusy = true
+		defer func() { m.bufBusy = false }()
+	} else {
+		before = make([]int, m.top.NumCores())
+		after = make([]int, m.top.NumCores())
+	}
+	m.coreActiveCounts(before)
 	f()
-	after := m.coreActiveCounts()
+	if t >= 0 {
+		if m.Dirty != nil {
+			m.Dirty(t)
+		}
+	} else if m.DirtyAll != nil {
+		m.DirtyAll()
+	}
+	m.coreActiveCounts(after)
 	if m.OnCoreActive != nil {
 		for core := range after {
 			if before[core] != after[core] {
@@ -229,14 +260,15 @@ func (m *Model) mutate(f func()) {
 	}
 }
 
-func (m *Model) coreActiveCounts() []int {
-	counts := make([]int, m.top.NumCores())
+func (m *Model) coreActiveCounts(counts []int) {
+	for i := range counts {
+		counts[i] = 0
+	}
 	for t := 0; t < m.top.NumThreads(); t++ {
 		if m.EffectiveState(soc.ThreadID(t)) == C0 {
 			counts[m.top.Threads[t].Core]++
 		}
 	}
-	return counts
 }
 
 // RequestedState returns what the OS last asked for on thread t.
@@ -307,4 +339,4 @@ func (m *Model) CountThreadsIn(s State) int {
 // NotifyOnlineChanged must be called after soc.SetOnline flips a thread so
 // the model can re-derive effective states (the topology has no back-
 // reference to the model).
-func (m *Model) NotifyOnlineChanged() { m.mutate(func() {}) }
+func (m *Model) NotifyOnlineChanged() { m.mutate(-1, func() {}) }

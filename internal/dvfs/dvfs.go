@@ -138,6 +138,10 @@ type Controller struct {
 	BeforeChange func()
 	// AfterChange, when set, runs after such a mutation.
 	AfterChange func()
+	// Dirty, when set, is invoked with each core whose effective frequency
+	// may have changed, before AfterChange fires — the machine layer uses it
+	// to scope its incremental refresh to the affected CCX.
+	Dirty func(core soc.CoreID)
 }
 
 // New creates a controller, initialises all cores to the lowest P-state and
@@ -205,6 +209,12 @@ func (c *Controller) notifyBefore() {
 func (c *Controller) notifyAfter() {
 	if c.AfterChange != nil {
 		c.AfterChange()
+	}
+}
+
+func (c *Controller) markDirty(core soc.CoreID) {
+	if c.Dirty != nil {
+		c.Dirty(core)
 	}
 }
 
@@ -332,6 +342,7 @@ func (c *Controller) completeTransition(core soc.CoreID) {
 	cs.current = cs.transTarget
 	cs.transActive = false
 	cs.lastTransEnd = c.eng.Now()
+	c.markDirty(core)
 	c.notifyAfter()
 	// The target may have moved while the ramp was in flight.
 	if cs.target() != cs.current {
@@ -351,6 +362,7 @@ func (c *Controller) SetCapMHz(core soc.CoreID, mhz float64) {
 	}
 	c.notifyBefore()
 	cs.capMHz = mhz
+	c.markDirty(core)
 	c.notifyAfter()
 }
 
@@ -373,7 +385,10 @@ func (c *Controller) SetCapsMHz(cores []soc.CoreID, mhz float64) {
 	}
 	c.notifyBefore()
 	for _, core := range cores {
-		c.cores[core].capMHz = mhz
+		if c.cores[core].capMHz != mhz {
+			c.cores[core].capMHz = mhz
+			c.markDirty(core)
+		}
 	}
 	c.notifyAfter()
 }
@@ -396,7 +411,10 @@ func (c *Controller) SetBoostsMHz(cores []soc.CoreID, mhz float64) {
 	}
 	c.notifyBefore()
 	for _, core := range cores {
-		c.cores[core].boostMHz = mhz
+		if c.cores[core].boostMHz != mhz {
+			c.cores[core].boostMHz = mhz
+			c.markDirty(core)
+		}
 	}
 	c.notifyAfter()
 }
@@ -416,6 +434,7 @@ func (c *Controller) SetBoostMHz(core soc.CoreID, mhz float64) {
 	}
 	c.notifyBefore()
 	cs.boostMHz = mhz
+	c.markDirty(core)
 	c.notifyAfter()
 }
 
@@ -429,6 +448,7 @@ func (c *Controller) SetActiveThreads(core soc.CoreID, n int) {
 	}
 	c.notifyBefore()
 	cs.activeThreads = n
+	c.markDirty(core)
 	c.notifyAfter()
 }
 

@@ -108,9 +108,21 @@ type Machine struct {
 	trafficGBs float64
 	inRefresh  bool
 
-	// Reused buffers for the refresh hot path.
-	inputsBuf []power.CoreInput
-	pkgWBuf   []float64
+	// Incremental-refresh state. Per-core derived values (power-model
+	// inputs, RAPL estimates) and per-thread counter rates are cached across
+	// refreshes; a refresh recomputes them only for cores marked dirty since
+	// the last one. Any mutation that can change a core's derived state
+	// marks its whole CCX dirty (effective frequencies couple within a CCX),
+	// so cached values are always bit-identical to a full recompute — which
+	// `-tags simcheck` builds assert on every refresh.
+	dirtyAll   bool
+	dirtyCores []bool
+	inputsBuf  []power.CoreInput
+	raplWBuf   []float64
+	pkgWBuf    []float64
+	thrCyc     []float64
+	thrIns     []float64
+	thrMpf     []float64
 }
 
 // New builds and wires the system. All threads start idle in the deepest
@@ -127,6 +139,15 @@ func New(cfg Config) *Machine {
 		cfg:  cfg,
 		iod:  cfg.IOD,
 		runs: make([]threadRun, top.NumThreads()),
+
+		dirtyAll:   true,
+		dirtyCores: make([]bool, top.NumCores()),
+		inputsBuf:  make([]power.CoreInput, top.NumCores()),
+		raplWBuf:   make([]float64, top.NumCores()),
+		pkgWBuf:    make([]float64, len(top.Packages)),
+		thrCyc:     make([]float64, top.NumThreads()),
+		thrIns:     make([]float64, top.NumThreads()),
+		thrMpf:     make([]float64, top.NumThreads()),
 	}
 	m.DVFS = dvfs.New(eng, top, cfg.DVFS, regs)
 	m.CStates = cstate.New(eng, top, cfg.CState)
@@ -144,7 +165,10 @@ func New(cfg Config) *Machine {
 	m.wirePerfMSRs(nominal)
 
 	m.CStates.OnCoreActive = func(core soc.CoreID, n int) { m.DVFS.SetActiveThreads(core, n) }
+	m.CStates.Dirty = m.markThreadDirty
+	m.CStates.DirtyAll = m.markAllDirty
 	m.CStates.AfterChange = m.refresh
+	m.DVFS.Dirty = m.markCoreDirty
 	m.DVFS.AfterChange = m.refresh
 
 	m.SMU = smu.New(eng, top, cfg.SMU, m.DVFS, (*activitySource)(m))
@@ -203,6 +227,7 @@ func (m *Machine) StartKernel(t soc.ThreadID, k workload.Kernel, weight float64)
 		lat = m.CStates.Wake(t, m.DVFS.EffectiveMHz(core), false)
 	}
 	m.runs[t] = threadRun{active: true, kernel: k, weight: weight}
+	m.markThreadDirty(t)
 	m.refresh()
 	return lat, nil
 }
@@ -211,6 +236,7 @@ func (m *Machine) StartKernel(t soc.ThreadID, k workload.Kernel, weight float64)
 func (m *Machine) SetHammingWeight(t soc.ThreadID, weight float64) {
 	if m.runs[t].active {
 		m.runs[t].weight = weight
+		m.markThreadDirty(t)
 		m.refresh()
 	}
 }
@@ -219,6 +245,7 @@ func (m *Machine) SetHammingWeight(t soc.ThreadID, weight float64) {
 // C-state.
 func (m *Machine) StopKernel(t soc.ThreadID) {
 	m.runs[t] = threadRun{}
+	m.markThreadDirty(t)
 	m.CStates.EnterIdle(t, m.CStates.DeepestEnabled(t))
 	m.refresh()
 }
@@ -250,6 +277,7 @@ func (m *Machine) SetAllFrequenciesMHz(mhz int) error {
 func (m *Machine) SetOnline(t soc.ThreadID, online bool) error {
 	if !online {
 		m.runs[t] = threadRun{}
+		m.markThreadDirty(t)
 		m.CStates.EnterIdle(t, m.CStates.DeepestEnabled(t))
 	}
 	if err := m.Top.SetOnline(t, online); err != nil {
@@ -349,8 +377,78 @@ func (m *Machine) StreamBandwidthGBs(cores int, twoCCX bool) float64 {
 
 // --- Internal derivation ---
 
+// markCoreDirty flags a core's whole CCX for recomputation on the next
+// refresh: effective frequencies couple across the CCX (shared L3 clock,
+// Table I penalties), so any per-core change can move its CCX siblings.
+func (m *Machine) markCoreDirty(core soc.CoreID) {
+	if m.dirtyAll {
+		return
+	}
+	for _, c := range m.Top.CCXs[m.Top.Cores[core].CCX].Cores {
+		m.dirtyCores[c] = true
+	}
+}
+
+func (m *Machine) markThreadDirty(t soc.ThreadID) {
+	m.markCoreDirty(m.Top.Threads[t].Core)
+}
+
+func (m *Machine) markAllDirty() { m.dirtyAll = true }
+
+// deriveCore computes a core's power-model input and its RAPL-model power
+// estimate (before model noise) from current state — the expensive per-core
+// step of refresh.
+func (m *Machine) deriveCore(core soc.CoreID, raplCfg rapl.Config) (power.CoreInput, float64) {
+	ci := power.CoreInput{
+		State:         m.CStates.CoreState(core),
+		ActiveThreads: m.CStates.ActiveThreads(core),
+	}
+	if ci.ActiveThreads > 0 {
+		eff := m.DVFS.EffectiveMHz(core)
+		ci.GHz = eff / 1000
+		ci.Volts = m.DVFS.VoltageAt(eff)
+		ci.Kernel, ci.HammingWeight = m.coreKernel(core)
+	}
+	// RAPL: per-core activity-event estimate. The toggle (operand) component
+	// is deliberately absent — that is the paper's central RAPL finding.
+	var w float64
+	switch {
+	case ci.ActiveThreads > 0:
+		smt := 1.0
+		if ci.ActiveThreads > 1 {
+			smt += ci.Kernel.SMTFactor
+		}
+		dyn := ci.Kernel.DynWatts * ci.GHz * ci.Volts * ci.Volts * smt
+		w = ci.Kernel.RAPLWeight*dyn + raplCfg.CoreC0Static
+	case ci.State == cstate.C1:
+		w = raplCfg.CoreC1Static
+	default:
+		w = raplCfg.CoreC2Static
+	}
+	return ci, w
+}
+
+// deriveThread computes a thread's performance-counter rates (cycles,
+// instructions and mperf reference cycles per second).
+func (m *Machine) deriveThread(id soc.ThreadID) (cyc, ins, mpf float64) {
+	if m.CStates.EffectiveState(id) == cstate.C0 && m.Top.Online(id) {
+		core := m.Top.Threads[id].Core
+		effMHz := m.DVFS.EffectiveMHz(core)
+		cyc = effMHz * 1e6
+		mpf = float64(m.cfg.SoC.NominalMHz) * 1e6
+		if m.runs[id].active {
+			n := m.CStates.ActiveThreads(core)
+			ins = m.runs[id].kernel.IPC(n) / float64(n) * effMHz * 1e6
+		}
+	}
+	return cyc, ins, mpf
+}
+
 // refresh recomputes all rates after a state change. It is idempotent at a
-// fixed simulation time.
+// fixed simulation time. Per-core and per-thread derivations run only for
+// cores marked dirty since the last refresh; the aggregation loops below
+// always run in full, in a fixed order, so their floating-point results are
+// bit-identical whether a core's values were recomputed or cached.
 func (m *Machine) refresh() {
 	if m.inRefresh {
 		return // guard against hook re-entry
@@ -365,24 +463,21 @@ func (m *Machine) refresh() {
 	// Advance the thermal model under the previous power level first.
 	m.Thermal.Advance(now, m.lastSysW)
 
-	if m.inputsBuf == nil {
-		m.inputsBuf = make([]power.CoreInput, m.Top.NumCores())
-		m.pkgWBuf = make([]float64, len(m.Top.Packages))
-	}
 	inputs := m.inputsBuf
 	for c := range m.Top.Cores {
+		if !m.dirtyAll && !m.dirtyCores[c] {
+			continue
+		}
 		core := soc.CoreID(c)
-		ci := power.CoreInput{
-			State:         m.CStates.CoreState(core),
-			ActiveThreads: m.CStates.ActiveThreads(core),
+		inputs[c], m.raplWBuf[c] = m.deriveCore(core, raplCfg)
+		for _, t := range m.Top.Cores[c].Threads {
+			m.thrCyc[t], m.thrIns[t], m.thrMpf[t] = m.deriveThread(t)
 		}
-		if ci.ActiveThreads > 0 {
-			eff := m.DVFS.EffectiveMHz(core)
-			ci.GHz = eff / 1000
-			ci.Volts = m.DVFS.VoltageAt(eff)
-			ci.Kernel, ci.HammingWeight = m.coreKernel(core)
-		}
-		inputs[c] = ci
+	}
+	m.verifyRefresh(raplCfg)
+	m.dirtyAll = false
+	for c := range m.dirtyCores {
+		m.dirtyCores[c] = false
 	}
 
 	// Memory traffic per CCD, capped by the Fig. 5a response surface.
@@ -421,9 +516,10 @@ func (m *Machine) refresh() {
 	m.acEnergy.SetPower(now, sysW)
 	m.lastSysW = sysW
 
-	// RAPL model: per-core activity-event estimate plus package uncore and
-	// temperature leakage. The toggle (operand) component is deliberately
-	// absent — that is the paper's central RAPL finding.
+	// RAPL model: the cached per-core activity-event estimates plus package
+	// uncore and temperature leakage. Every core is re-fed each refresh
+	// because leakage and model noise evolve with time even when the
+	// per-core estimate is unchanged.
 	leak := math.Max(0, raplCfg.TempLeakPerK*(m.Thermal.TempC()-raplCfg.TempRefC))
 	pkgW := m.pkgWBuf
 	for i := range pkgW {
@@ -431,21 +527,7 @@ func (m *Machine) refresh() {
 	}
 	for c := range m.Top.Cores {
 		core := soc.CoreID(c)
-		ci := inputs[c]
-		var w float64
-		switch {
-		case ci.ActiveThreads > 0:
-			smt := 1.0
-			if ci.ActiveThreads > 1 {
-				smt += ci.Kernel.SMTFactor
-			}
-			dyn := ci.Kernel.DynWatts * ci.GHz * ci.Volts * ci.Volts * smt
-			w = ci.Kernel.RAPLWeight*dyn + raplCfg.CoreC0Static
-		case ci.State == cstate.C1:
-			w = raplCfg.CoreC1Static
-		default:
-			w = raplCfg.CoreC2Static
-		}
+		w := m.raplWBuf[c]
 		m.RAPL.SetCorePower(core, w)
 		pkgW[m.Top.PackageOfCore(core)] += w
 	}
@@ -457,23 +539,14 @@ func (m *Machine) refresh() {
 		m.RAPL.SetPackagePower(soc.PackageID(p), pkgW[p]+uncore+leak)
 	}
 
-	// Per-thread performance counters.
+	// Per-thread performance counters, from the cached rates. The
+	// integrators are advanced every refresh (not only on rate changes) so
+	// their piecewise accumulation folds at the same boundaries as a full
+	// recompute would.
 	for t := 0; t < m.Top.NumThreads(); t++ {
-		id := soc.ThreadID(t)
-		var cyc, ins, mpf float64
-		if m.CStates.EffectiveState(id) == cstate.C0 && m.Top.Online(id) {
-			core := m.Top.Threads[id].Core
-			effMHz := m.DVFS.EffectiveMHz(core)
-			cyc = effMHz * 1e6
-			mpf = float64(m.cfg.SoC.NominalMHz) * 1e6
-			if m.runs[id].active {
-				n := m.CStates.ActiveThreads(core)
-				ins = m.runs[id].kernel.IPC(n) / float64(n) * effMHz * 1e6
-			}
-		}
-		m.cycles[t].SetPower(m.Eng.Now(), cyc)
-		m.instrs[t].SetPower(m.Eng.Now(), ins)
-		m.mperf[t].SetPower(m.Eng.Now(), mpf)
+		m.cycles[t].SetPower(now, m.thrCyc[t])
+		m.instrs[t].SetPower(now, m.thrIns[t])
+		m.mperf[t].SetPower(now, m.thrMpf[t])
 	}
 }
 

@@ -1,0 +1,10 @@
+//go:build !simcheck
+
+package machine
+
+import "zen2ee/internal/rapl"
+
+// verifyRefresh is compiled out unless built with -tags simcheck, which
+// turns every refresh into a full recompute cross-checked against the
+// incrementally maintained caches.
+func (m *Machine) verifyRefresh(rapl.Config) {}

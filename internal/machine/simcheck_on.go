@@ -1,0 +1,33 @@
+//go:build simcheck
+
+package machine
+
+import (
+	"fmt"
+
+	"zen2ee/internal/rapl"
+	"zen2ee/internal/soc"
+)
+
+// verifyRefresh recomputes every core's and thread's derived state from
+// scratch and asserts bit-exact agreement with the incrementally maintained
+// caches — the debug mode backing the dirty-set refresh. A panic here means
+// a mutation path failed to mark its core (or the core's CCX) dirty.
+func (m *Machine) verifyRefresh(raplCfg rapl.Config) {
+	for c := range m.Top.Cores {
+		ci, w := m.deriveCore(soc.CoreID(c), raplCfg)
+		if ci != m.inputsBuf[c] || w != m.raplWBuf[c] {
+			panic(fmt.Sprintf(
+				"simcheck: core %d stale at %v: cached (%+v, %g W) vs full (%+v, %g W)",
+				c, m.Eng.Now(), m.inputsBuf[c], m.raplWBuf[c], ci, w))
+		}
+	}
+	for t := 0; t < m.Top.NumThreads(); t++ {
+		cyc, ins, mpf := m.deriveThread(soc.ThreadID(t))
+		if cyc != m.thrCyc[t] || ins != m.thrIns[t] || mpf != m.thrMpf[t] {
+			panic(fmt.Sprintf(
+				"simcheck: thread %d stale at %v: cached (%g, %g, %g) vs full (%g, %g, %g)",
+				t, m.Eng.Now(), m.thrCyc[t], m.thrIns[t], m.thrMpf[t], cyc, ins, mpf))
+		}
+	}
+}

@@ -61,7 +61,7 @@ type PowerAnalyzer struct {
 
 	lastEnergy float64
 	lastTime   sim.Time
-	stop       func()
+	ticker     *sim.Ticker
 	// DropoutRate, when non-zero, randomly discards samples (failure
 	// injection for the merge/averaging pipeline).
 	DropoutRate float64
@@ -75,12 +75,12 @@ func NewPowerAnalyzer(eng *sim.Engine, cfg AnalyzerConfig, src EnergySource) *Po
 		lastEnergy: src.EnergyJoules(eng.Now()),
 		lastTime:   eng.Now(),
 	}
-	pa.stop = eng.Ticker(cfg.SampleInterval, 0, pa.sample)
+	pa.ticker = eng.NewTicker(cfg.SampleInterval, 0, pa.sample)
 	return pa
 }
 
 // Stop ends sampling.
-func (pa *PowerAnalyzer) Stop() { pa.stop() }
+func (pa *PowerAnalyzer) Stop() { pa.ticker.Stop() }
 
 func (pa *PowerAnalyzer) sample() {
 	now := pa.eng.Now()

@@ -43,7 +43,7 @@ type IdleTicks struct {
 	// Busy is the housekeeping duration per wake-up.
 	Busy sim.Duration
 
-	stops []func()
+	tickers []*sim.Ticker
 }
 
 // DefaultIdleTicks returns the calibration that reproduces the paper's
@@ -58,18 +58,18 @@ func (it *IdleTicks) Start(threads ...soc.ThreadID) (stop func()) {
 	for i, t := range threads {
 		t := t
 		phase := sim.Duration(i) * it.Interval / sim.Duration(len(threads)+1)
-		s := it.M.Eng.Ticker(it.Interval, phase, func() { it.tick(t) })
-		it.stops = append(it.stops, s)
+		tk := it.M.Eng.NewTicker(it.Interval, phase, func() { it.tick(t) })
+		it.tickers = append(it.tickers, tk)
 	}
 	return it.Stop
 }
 
 // Stop disarms all ticks.
 func (it *IdleTicks) Stop() {
-	for _, s := range it.stops {
-		s()
+	for _, tk := range it.tickers {
+		tk.Stop()
 	}
-	it.stops = nil
+	it.tickers = nil
 }
 
 // tick briefly wakes an idle thread for housekeeping.

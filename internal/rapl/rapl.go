@@ -106,9 +106,9 @@ type Model struct {
 	cores []*domain
 	pkgs  []*domain
 
-	noise     float64
-	noiseStop func()
-	rng       *sim.RNG
+	noise       float64
+	noiseTicker *sim.Ticker
+	rng         *sim.RNG
 
 	units uint64
 }
@@ -129,7 +129,7 @@ func New(eng *sim.Engine, top *soc.Topology, cfg Config, regs *msr.File) *Model 
 		m.pkgs = append(m.pkgs, newDomain(now, cfg.UpdatePeriod))
 	}
 	if cfg.NoiseRel > 0 {
-		m.noiseStop = eng.Ticker(cfg.NoisePeriod, 0, func() {
+		m.noiseTicker = eng.NewTicker(cfg.NoisePeriod, 0, func() {
 			// AR(1) slow drift: keeps block averages dispersed without
 			// whitening out over a measurement window.
 			m.noise = 0.9*m.noise + m.rng.Gaussian(0, cfg.NoiseRel)
@@ -155,8 +155,8 @@ func (m *Model) wireMSRs(regs *msr.File) {
 
 // Stop halts the noise ticker.
 func (m *Model) Stop() {
-	if m.noiseStop != nil {
-		m.noiseStop()
+	if m.noiseTicker != nil {
+		m.noiseTicker.Stop()
 	}
 }
 

@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleFire pins the steady-state cost of the hot path
+// under every experiment: schedule one event, fire it. With the slot arena
+// and heap warmed up this must report 0 allocs/op — the closure is hoisted
+// out of the loop, exactly like the model components' persistent callbacks.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Duration(i+1), fn)
+	}
+	e.RunFor(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, fn)
+		e.step()
+	}
+}
+
+// BenchmarkEngineScheduleCancel pins the cancel path: schedule and cancel in
+// place, no queue growth, no allocations.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	e.Cancel(e.Schedule(1, fn))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(e.Schedule(1, fn))
+	}
+	if e.PendingEvents() != 0 {
+		b.Fatal("queue grew under schedule/cancel churn")
+	}
+}
+
+// BenchmarkTickerSteadyState pins the persistent periodic event: each tick
+// reschedules the one pre-allocated fire closure in place, so the steady
+// state must report 0 allocs/op.
+func BenchmarkTickerSteadyState(b *testing.B) {
+	e := NewEngine(1)
+	ticks := 0
+	tk := e.NewTicker(Microsecond, 0, func() { ticks++ })
+	defer tk.Stop()
+	e.RunFor(100 * Microsecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunFor(Microsecond)
+	}
+	if ticks < b.N {
+		b.Fatalf("ticker fired %d times over %d periods", ticks, b.N)
+	}
+}
+
+// BenchmarkEngineMixedLoad approximates a machine-shaped queue: a few dozen
+// tickers at staggered phases plus transient one-shot events.
+func BenchmarkEngineMixedLoad(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < 32; i++ {
+		i := i
+		tk := e.NewTicker(Millisecond, Duration(i)*Microsecond, func() {})
+		defer tk.Stop()
+	}
+	fn := func() {}
+	e.RunFor(10 * Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(i%7)*Microsecond, fn)
+		e.RunFor(100 * Microsecond)
+	}
+}

@@ -2,14 +2,21 @@
 // that underpins the Zen 2 power-management model.
 //
 // The engine keeps a virtual clock with nanosecond resolution and an event
-// heap. Components (DVFS state machines, SMU control loops, the OS timer
+// queue. Components (DVFS state machines, SMU control loops, the OS timer
 // tick, power meters, ...) schedule callbacks on the engine; the engine
 // executes them in strict (time, insertion-order) order, so a simulation with
 // a fixed seed is bit-for-bit reproducible.
+//
+// The queue is engineered for the steady state of a long simulation, where
+// millions of events are scheduled and fired but almost none are ever
+// cancelled: a value-typed, index-based 4-ary heap over a slot arena with a
+// freelist, so scheduling and firing perform zero allocations once the arena
+// has warmed up. Cancellation is validated through generation-tagged
+// EventIDs and removes the event from the queue in place, so cancel-heavy
+// models cannot grow the queue with dead entries.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -58,57 +65,50 @@ func DurationFromSeconds(s float64) Duration {
 	return Duration(math.Round(s * 1e9))
 }
 
-// Event is a scheduled callback.
-type event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among same-time events
-	fn   func()
-	id   uint64
-	dead bool
+// eventSlot is one arena entry. Slots are reused through the freelist; the
+// generation counter distinguishes successive occupancies so a stale EventID
+// from an earlier occupant can never cancel the current one.
+type eventSlot struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+	gen uint32
+	pos int32 // index in Engine.heap, or -1 when the slot is free/fired
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. It packs the
+// event's arena slot and the slot's generation; the zero EventID is never
+// issued (generations start at 1).
 type EventID uint64
+
+func makeEventID(slot, gen uint32) EventID {
+	return EventID(uint64(slot)<<32 | uint64(gen))
+}
+
+func (id EventID) split() (slot, gen uint32) {
+	return uint32(id >> 32), uint32(id)
+}
 
 // Engine is the discrete-event simulator. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	nextID  uint64
-	pending map[uint64]*event
-	rng     *RNG
+	now Time
+	seq uint64
+	rng *RNG
+
+	// slots is the event arena; heap holds slot indices ordered as a 4-ary
+	// min-heap on (at, seq); free lists vacant slots for reuse.
+	slots []eventSlot
+	heap  []uint32
+	free  []uint32
+
 	// executed counts processed events, mostly for tests and diagnostics.
 	executed uint64
 }
 
 // NewEngine returns an engine with its clock at zero and the given RNG seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{
-		pending: make(map[uint64]*event),
-		rng:     NewRNG(seed),
-	}
+	return &Engine{rng: NewRNG(seed)}
 }
 
 // Now returns the current virtual time.
@@ -120,6 +120,96 @@ func (e *Engine) RNG() *RNG { return e.rng }
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
+// less orders heap entries by (time, sequence).
+func (e *Engine) less(a, b uint32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// The heap is 4-ary: shallower than a binary heap (fewer cache lines per
+// sift) at the cost of three extra comparisons per level, a well-known win
+// for queues dominated by Push/Pop of near-front elements.
+const heapArity = 4
+
+// siftUp moves heap[i] toward the root until its parent is not larger.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	moved := h[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !e.less(moved, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		e.slots[h[i]].pos = int32(i)
+		i = p
+	}
+	h[i] = moved
+	e.slots[moved].pos = int32(i)
+}
+
+// siftDown moves heap[i] toward the leaves; it returns the final index.
+func (e *Engine) siftDown(i int) int {
+	h := e.heap
+	n := len(h)
+	moved := h[i]
+	for {
+		c := heapArity*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + heapArity
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !e.less(h[best], moved) {
+			break
+		}
+		h[i] = h[best]
+		e.slots[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = moved
+	e.slots[moved].pos = int32(i)
+	return i
+}
+
+// removeAt detaches the heap entry at position i and restores heap order.
+// The detached slot's pos is set to -1; the slot itself is not released.
+func (e *Engine) removeAt(i int) uint32 {
+	h := e.heap
+	idx := h[i]
+	last := len(h) - 1
+	if i != last {
+		h[i] = h[last]
+		e.slots[h[i]].pos = int32(i)
+	}
+	e.heap = h[:last]
+	if i < last {
+		if e.siftDown(i) == i {
+			e.siftUp(i)
+		}
+	}
+	e.slots[idx].pos = -1
+	return idx
+}
+
+// release returns a fired or cancelled slot to the freelist. The callback
+// reference is dropped so the arena does not retain dead closures.
+func (e *Engine) release(idx uint32) {
+	e.slots[idx].fn = nil
+	e.free = append(e.free, idx)
+}
+
 // ScheduleAt registers fn to run at the absolute virtual time at. Scheduling
 // in the past panics: it always indicates a model bug.
 func (e *Engine) ScheduleAt(at Time, fn func()) EventID {
@@ -127,11 +217,21 @@ func (e *Engine) ScheduleAt(at Time, fn func()) EventID {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	e.nextID++
-	ev := &event{at: at, seq: e.seq, fn: fn, id: e.nextID}
-	heap.Push(&e.queue, ev)
-	e.pending[ev.id] = ev
-	return EventID(ev.id)
+	var idx uint32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		idx = uint32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.at, s.seq, s.fn = at, e.seq, fn
+	s.gen++ // generations start at 1, so the zero EventID is never issued
+	s.pos = int32(len(e.heap))
+	e.heap = append(e.heap, idx)
+	e.siftUp(int(s.pos))
+	return makeEventID(idx, s.gen)
 }
 
 // Schedule registers fn to run after delay d.
@@ -142,47 +242,45 @@ func (e *Engine) Schedule(d Duration, fn func()) EventID {
 	return e.ScheduleAt(e.now.Add(d), fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or unknown
-// event is a no-op and returns false.
+// Cancel removes a pending event from the queue in place. Cancelling an
+// already-fired, already-cancelled or unknown event is a no-op and returns
+// false — including when the event's arena slot has since been reused, which
+// the generation tag detects.
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.pending[uint64(id)]
-	if !ok {
+	idx, gen := id.split()
+	if int(idx) >= len(e.slots) {
 		return false
 	}
-	ev.dead = true
-	delete(e.pending, uint64(id))
+	s := &e.slots[idx]
+	if s.gen != gen || s.pos < 0 {
+		return false
+	}
+	e.removeAt(int(s.pos))
+	e.release(idx)
 	return true
 }
 
 // step executes the earliest pending event. Returns false if none remain.
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		delete(e.pending, ev.id)
-		e.now = ev.at
-		e.executed++
-		ev.fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	idx := e.removeAt(0)
+	s := &e.slots[idx]
+	at, fn := s.at, s.fn
+	// Release before running: fn may schedule new events into this slot,
+	// and the generation bump keeps stale handles invalid.
+	e.release(idx)
+	e.now = at
+	e.executed++
+	fn()
+	return true
 }
 
 // RunUntil advances the simulation until the clock reaches t (inclusive of
 // events at exactly t), then sets the clock to t.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.queue) > 0 {
-		// Peek at the head, skipping cancelled entries.
-		head := e.queue[0]
-		if head.dead {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if head.at > t {
-			break
-		}
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= t {
 		e.step()
 	}
 	if t > e.now {
@@ -203,48 +301,64 @@ func (e *Engine) Drain(limit uint64) uint64 {
 	return n
 }
 
-// PendingEvents returns the number of scheduled (non-cancelled) events.
-func (e *Engine) PendingEvents() int { return len(e.pending) }
+// PendingEvents returns the number of scheduled events. Cancelled events are
+// removed from the queue immediately, so this is also the queue length.
+func (e *Engine) PendingEvents() int { return len(e.heap) }
 
-// Ticker invokes fn every period, starting at the next multiple of period
+// Ticker is a persistent periodic event: one pre-allocated fire closure
+// reschedules itself in place, so a steady-state tick allocates nothing.
+// Construct with Engine.NewTicker.
+type Ticker struct {
+	e       *Engine
+	period  Duration
+	phase   Duration
+	fn      func()
+	fire    func()
+	id      EventID
+	stopped bool
+}
+
+// NewTicker invokes fn every period, starting at the next multiple of period
 // plus phase (so independent tickers with the same period stay aligned to a
 // grid, which is exactly how the Zen 2 frequency-transition slots behave).
-// It returns a stop function.
-func (e *Engine) Ticker(period Duration, phase Duration, fn func()) (stop func()) {
+func (e *Engine) NewTicker(period Duration, phase Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
 	}
-	stopped := false
-	var schedule func()
-	schedule = func() {
-		// Next grid point strictly after now.
-		next := nextGridPoint(e.now, period, phase)
-		e.ScheduleAt(next, func() {
-			if stopped {
-				return
-			}
-			fn()
-			if !stopped {
-				schedule()
-			}
-		})
+	t := &Ticker{e: e, period: period, phase: phase, fn: fn}
+	t.fire = func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.id = e.ScheduleAt(nextGridPoint(e.now, t.period, t.phase), t.fire)
+		}
 	}
-	schedule()
-	return func() { stopped = true }
+	t.id = e.ScheduleAt(nextGridPoint(e.now, period, phase), t.fire)
+	return t
+}
+
+// Stop disarms the ticker and cancels its pending tick. Stopping an
+// already-stopped ticker is a no-op; stopping from inside the ticker's own
+// callback suppresses the rescheduling of the next tick.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.e.Cancel(t.id)
 }
 
 // nextGridPoint returns the smallest time strictly greater than now that is
-// congruent to phase modulo period.
+// congruent to phase modulo period, in O(1) arithmetic.
 func nextGridPoint(now Time, period Duration, phase Duration) Time {
 	p := int64(period)
 	ph := ((int64(phase) % p) + p) % p
-	n := int64(now)
-	k := (n - ph) / p
-	for {
-		cand := k*p + ph
-		if cand > n {
-			return Time(cand)
-		}
-		k++
+	d := int64(now) - ph
+	q := d / p
+	if d%p != 0 && d < 0 { // floor division: Go truncates toward zero
+		q--
 	}
+	return Time((q+1)*p + ph)
 }

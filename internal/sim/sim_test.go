@@ -104,9 +104,9 @@ func TestEngineRunUntilStopsAtBoundary(t *testing.T) {
 func TestTickerGridAlignment(t *testing.T) {
 	e := NewEngine(1)
 	var ticks []Time
-	stop := e.Ticker(Millisecond, 0, func() { ticks = append(ticks, e.Now()) })
+	tk := e.NewTicker(Millisecond, 0, func() { ticks = append(ticks, e.Now()) })
 	e.RunUntil(Time(5 * Millisecond))
-	stop()
+	tk.Stop()
 	e.RunUntil(Time(10 * Millisecond))
 	if len(ticks) != 5 {
 		t.Fatalf("got %d ticks, want 5: %v", len(ticks), ticks)
@@ -121,12 +121,12 @@ func TestTickerGridAlignment(t *testing.T) {
 func TestTickerPhase(t *testing.T) {
 	e := NewEngine(1)
 	var first Time = -1
-	stop := e.Ticker(Millisecond, 250*Microsecond, func() {
+	tk := e.NewTicker(Millisecond, 250*Microsecond, func() {
 		if first < 0 {
 			first = e.Now()
 		}
 	})
-	defer stop()
+	defer tk.Stop()
 	e.RunUntil(Time(3 * Millisecond))
 	if first != Time(250*Microsecond) {
 		t.Fatalf("first phased tick at %v, want 250µs", first)
@@ -334,10 +334,10 @@ func TestEngineDeterminismEndToEnd(t *testing.T) {
 	run := func() []uint64 {
 		e := NewEngine(1234)
 		var out []uint64
-		stop := e.Ticker(100*Microsecond, 0, func() {
+		tk := e.NewTicker(100*Microsecond, 0, func() {
 			out = append(out, e.RNG().Uint64())
 		})
-		defer stop()
+		defer tk.Stop()
 		e.RunUntil(Time(10 * Millisecond))
 		return out
 	}
@@ -411,6 +411,178 @@ func TestDurationHelpers(t *testing.T) {
 	}
 	if ms := (2500 * Microsecond).Millis(); ms != 2.5 {
 		t.Fatalf("Millis() = %v", ms)
+	}
+}
+
+// TestCancelRemovesFromQueue pins the no-leak property: a cancel-heavy model
+// must not grow the queue with dead entries — Cancel removes the event from
+// the heap in place, and the freed slot is recycled through the freelist.
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 100000; i++ {
+		id := e.Schedule(Millisecond, func() { t.Fatal("cancelled event fired") })
+		if !e.Cancel(id) {
+			t.Fatal("Cancel returned false for pending event")
+		}
+		if got := e.PendingEvents(); got != 0 {
+			t.Fatalf("pending after cancel = %d, want 0", got)
+		}
+	}
+	if n := len(e.heap); n != 0 {
+		t.Fatalf("queue length after cancel-heavy loop = %d, want 0", n)
+	}
+	if n := len(e.slots); n != 1 {
+		t.Fatalf("arena grew to %d slots under schedule/cancel churn, want 1", n)
+	}
+	// Interleaved live and cancelled events: queue length must track the
+	// live count exactly, with no dead residue until popped.
+	var fired int
+	ids := make([]EventID, 0, 100)
+	for i := 0; i < 100; i++ {
+		ids = append(ids, e.Schedule(Duration(i+1), func() { fired++ }))
+	}
+	for i := 0; i < 100; i += 2 {
+		e.Cancel(ids[i])
+	}
+	if got := e.PendingEvents(); got != 50 {
+		t.Fatalf("pending = %d, want 50", got)
+	}
+	if n := len(e.heap); n != 50 {
+		t.Fatalf("queue length = %d, want 50 (dead entries lingering)", n)
+	}
+	e.RunUntil(Time(200))
+	if fired != 50 {
+		t.Fatalf("fired %d events, want 50", fired)
+	}
+}
+
+// TestCancelStaleHandleAfterReuse exercises the generation check: an EventID
+// whose arena slot has been reused by a newer event must not cancel it.
+func TestCancelStaleHandleAfterReuse(t *testing.T) {
+	e := NewEngine(1)
+	id1 := e.Schedule(10, func() { t.Fatal("cancelled event fired") })
+	if !e.Cancel(id1) {
+		t.Fatal("first Cancel failed")
+	}
+	// The next schedule reuses id1's slot with a bumped generation.
+	fired := false
+	id2 := e.Schedule(10, func() { fired = true })
+	s1, _ := id1.split()
+	s2, _ := id2.split()
+	if s1 != s2 {
+		t.Fatalf("test setup: slot not reused (id1=%x id2=%x)", id1, id2)
+	}
+	if e.Cancel(id1) {
+		t.Fatal("stale handle cancelled a newer event in the reused slot")
+	}
+	e.RunUntil(20)
+	if !fired {
+		t.Fatal("event in reused slot did not fire")
+	}
+	// Cancel-after-fire with the slot reused again: still false, and the
+	// current occupant is untouched.
+	if e.Cancel(id2) {
+		t.Fatal("Cancel returned true for already-fired event")
+	}
+	id3 := e.Schedule(10, func() {})
+	if e.Cancel(id2) {
+		t.Fatal("fired handle cancelled the slot's next occupant")
+	}
+	if !e.Cancel(id3) {
+		t.Fatal("live handle rejected")
+	}
+}
+
+// TestTickerStopRacingPendingTick stops a ticker from an event at the exact
+// time of its next pending tick (scheduled earlier in FIFO order): the tick
+// must be cancelled, not fire as a dead event.
+func TestTickerStopRacingPendingTick(t *testing.T) {
+	e := NewEngine(1)
+	var tk *Ticker
+	ticks := 0
+	// The stopper is scheduled first, so at t=1ms it runs before the tick.
+	e.ScheduleAt(Time(Millisecond), func() { tk.Stop() })
+	tk = e.NewTicker(Millisecond, 0, func() { ticks++ })
+	e.RunUntil(Time(5 * Millisecond))
+	if ticks != 0 {
+		t.Fatalf("ticks = %d, want 0 (stop raced the pending tick)", ticks)
+	}
+	if got := e.PendingEvents(); got != 0 {
+		t.Fatalf("pending = %d, want 0 after stop", got)
+	}
+	tk.Stop() // idempotent
+}
+
+// TestTickerStopFromOwnTick stops a ticker from inside its own callback: the
+// next tick must not be scheduled and no event may linger in the queue.
+func TestTickerStopFromOwnTick(t *testing.T) {
+	e := NewEngine(1)
+	var tk *Ticker
+	ticks := 0
+	tk = e.NewTicker(Millisecond, 0, func() {
+		ticks++
+		if ticks == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(Time(10 * Millisecond))
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+	if got := e.PendingEvents(); got != 0 {
+		t.Fatalf("pending = %d, want 0 after self-stop", got)
+	}
+}
+
+// TestRunUntilAfterCancellingHead cancels the earliest events and verifies
+// RunUntil neither fires them nor stalls on the emptied queue positions.
+func TestRunUntilAfterCancellingHead(t *testing.T) {
+	e := NewEngine(1)
+	id1 := e.Schedule(10, func() { t.Fatal("cancelled head fired") })
+	id2 := e.Schedule(12, func() { t.Fatal("cancelled head fired") })
+	fired := false
+	e.Schedule(20, func() { fired = true })
+	e.Cancel(id1)
+	e.Cancel(id2)
+	e.RunUntil(15)
+	if fired || e.Now() != 15 {
+		t.Fatalf("clock = %v, fired = %v; want 15, false", e.Now(), fired)
+	}
+	e.RunUntil(25)
+	if !fired {
+		t.Fatal("live event behind cancelled heads did not fire")
+	}
+	// All-dead queue: RunUntil must terminate and advance the clock.
+	id := e.Schedule(10, func() { t.Fatal("cancelled event fired") })
+	e.Cancel(id)
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+// TestZeroDurationSchedule pins the ordering of zero-delay events: they fire
+// at the current time, after the running event and after previously-queued
+// same-time events (FIFO by sequence), before any later-time event.
+func TestZeroDurationSchedule(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(10, func() {
+		got = append(got, 1)
+		e.Schedule(0, func() { got = append(got, 3) })
+		e.Schedule(-5, func() { got = append(got, 4) }) // clamps to 0
+	})
+	e.ScheduleAt(10, func() { got = append(got, 2) })
+	e.Schedule(11, func() { got = append(got, 5) })
+	e.RunUntil(20)
+	want := []int{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
 	}
 }
 

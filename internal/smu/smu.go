@@ -90,9 +90,15 @@ type Manager struct {
 	// capMHz is the package-wide frequency cap applied to active cores;
 	// +Inf = unthrottled.
 	capMHz []float64
-	stop   func()
+	ticker *sim.Ticker
 	// throttledTicks counts control periods with an engaged EDC cap.
 	throttledTicks []uint64
+
+	// pkgCores caches each package's cores in topology order; activeBuf and
+	// idleBuf are reused per control tick so the loops stay allocation-free.
+	pkgCores  [][]soc.CoreID
+	activeBuf []soc.CoreID
+	idleBuf   []soc.CoreID
 }
 
 // New creates a manager and starts its control ticker.
@@ -106,12 +112,17 @@ func New(eng *sim.Engine, top *soc.Topology, cfg Config, ctl *dvfs.Controller, s
 	for i := range m.capMHz {
 		m.capMHz[i] = math.Inf(1)
 	}
-	m.stop = eng.Ticker(cfg.ControlPeriod, cfg.ControlPeriod/2, m.tick)
+	m.pkgCores = make([][]soc.CoreID, len(top.Packages))
+	for _, core := range top.Cores {
+		pkg := top.PackageOfCore(core.ID)
+		m.pkgCores[pkg] = append(m.pkgCores[pkg], core.ID)
+	}
+	m.ticker = eng.NewTicker(cfg.ControlPeriod, cfg.ControlPeriod/2, m.tick)
 	return m
 }
 
 // Stop halts the control loop (for ablation experiments).
-func (m *Manager) Stop() { m.stop() }
+func (m *Manager) Stop() { m.ticker.Stop() }
 
 // CapMHz returns the current package cap (+Inf when unthrottled).
 func (m *Manager) CapMHz(pkg soc.PackageID) float64 { return m.capMHz[pkg] }
@@ -144,16 +155,13 @@ func (m *Manager) controlPackage(pkg soc.PackageID) {
 	var amps float64
 	maxApplied := 0.0
 	anyActive := false
-	for _, core := range m.top.Cores {
-		if m.top.PackageOfCore(core.ID) != pkg {
-			continue
-		}
-		if !m.src.CoreActive(core.ID) {
+	for _, core := range m.pkgCores[pkg] {
+		if !m.src.CoreActive(core) {
 			continue
 		}
 		anyActive = true
-		amps += m.src.CoreCurrentAmps(core.ID)
-		if f := m.ctl.EffectiveMHz(core.ID); f > maxApplied {
+		amps += m.src.CoreCurrentAmps(core)
+		if f := m.ctl.EffectiveMHz(core); f > maxApplied {
 			maxApplied = f
 		}
 	}
@@ -163,11 +171,11 @@ func (m *Manager) controlPackage(pkg soc.PackageID) {
 	// The release threshold: caps at or above the fastest requested
 	// (uncapped) frequency are moot.
 	release := m.cfg.BoostMHz
-	for _, core := range m.top.Cores {
-		if m.top.PackageOfCore(core.ID) != pkg || !m.src.CoreActive(core.ID) {
+	for _, core := range m.pkgCores[pkg] {
+		if !m.src.CoreActive(core) {
 			continue
 		}
-		if f := m.ctl.UncappedMHz(core.ID); f > release {
+		if f := m.ctl.UncappedMHz(core); f > release {
 			release = f
 		}
 	}
@@ -242,17 +250,15 @@ func (m *Manager) projectionRatio(f0, f1 float64) float64 {
 // package boosts to the full single-core maximum and descends by
 // BoostSlopeMHz per additional active core down to nominal.
 func (m *Manager) applyBoost(pkg soc.PackageID) {
-	var active, idle []soc.CoreID
-	for _, core := range m.top.Cores {
-		if m.top.PackageOfCore(core.ID) != pkg {
-			continue
-		}
-		if m.src.CoreActive(core.ID) {
-			active = append(active, core.ID)
+	active, idle := m.activeBuf[:0], m.idleBuf[:0]
+	for _, core := range m.pkgCores[pkg] {
+		if m.src.CoreActive(core) {
+			active = append(active, core)
 		} else {
-			idle = append(idle, core.ID)
+			idle = append(idle, core)
 		}
 	}
+	m.activeBuf, m.idleBuf = active, idle
 	grant := m.cfg.BoostMHz
 	if len(active) > m.cfg.BoostFreeCores {
 		grant -= m.cfg.BoostSlopeMHz * float64(len(active)-m.cfg.BoostFreeCores)
@@ -265,12 +271,7 @@ func (m *Manager) applyBoost(pkg soc.PackageID) {
 }
 
 func (m *Manager) applyCap(pkg soc.PackageID, cap float64) {
-	var cores []soc.CoreID
-	for _, core := range m.top.Cores {
-		if m.top.PackageOfCore(core.ID) == pkg {
-			cores = append(cores, core.ID)
-		}
-	}
+	cores := m.pkgCores[pkg]
 	if math.IsInf(cap, 1) {
 		m.ctl.SetCapsMHz(cores, 0) // uncap
 	} else {
