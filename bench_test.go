@@ -21,6 +21,7 @@ import (
 
 	"zen2ee/internal/core"
 	"zen2ee/internal/intelmodel"
+	"zen2ee/internal/report"
 	"zen2ee/internal/service"
 	"zen2ee/internal/sim"
 )
@@ -244,6 +245,74 @@ func BenchmarkSweepBatchedVsSequential(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSweepMemory pins the streaming sweep pipeline's memory bound:
+// peak live heap across the full stream path (scheduler → MarshalResults →
+// SweepWriter) must track the configurations in flight, not the sweep
+// size. Every completed configuration forces a GC and samples the live
+// heap over the pre-run baseline; compare live-B/config across the
+// sub-benchmarks — quadrupling the config count should leave it roughly
+// flat (sublinear growth of the peak), where the old collect-everything
+// pipeline grew it linearly.
+func BenchmarkSweepMemory(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("configs=%d", n), func(b *testing.B) {
+			seeds := make([]uint64, n)
+			for i := range seeds {
+				seeds[i] = uint64(i + 1)
+			}
+			sw := core.Sweep{IDs: []string{"fig1", "sec5a"}, Configs: core.Grid([]float64{0.2}, seeds)}
+			ids, err := core.CanonicalIDs(sw.IDs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var peak uint64
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				var base runtime.MemStats
+				runtime.ReadMemStats(&base)
+				w, err := report.NewSweepWriter(io.Discard, ids, sw.Configs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// onConfig runs on a scheduler worker goroutine, so failures
+				// are carried out rather than b.Fatal'ed in place.
+				var cbErr error
+				err = core.RunSweepStream(sw, core.RunConfig{Workers: 2}, func(k int, cr core.ConfigResult, cerr error) {
+					if cbErr != nil || cerr != nil {
+						return
+					}
+					doc, merr := report.MarshalResults(cr.Results, cr.Config)
+					if merr != nil {
+						cbErr = merr
+						return
+					}
+					if werr := w.WriteSection(k, doc); werr != nil {
+						cbErr = werr
+						return
+					}
+					runtime.GC()
+					var ms runtime.MemStats
+					runtime.ReadMemStats(&ms)
+					if ms.HeapAlloc > base.HeapAlloc && ms.HeapAlloc-base.HeapAlloc > peak {
+						peak = ms.HeapAlloc - base.HeapAlloc
+					}
+				}, nil)
+				if err == nil {
+					err = cbErr
+				}
+				if err == nil {
+					err = w.Close()
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(peak), "live-B/peak")
+			b.ReportMetric(float64(peak)/float64(n), "live-B/config")
+		})
+	}
 }
 
 // --- Service ---

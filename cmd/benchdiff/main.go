@@ -2,6 +2,7 @@
 // form (the BENCH_* artifacts CI uploads) and prints an old-vs-new table of
 // ns/op, B/op and allocs/op per benchmark, with relative deltas — a
 // dependency-free benchstat for the repository's perf-trajectory artifacts.
+// Benchmarks recorded without -benchmem show "-" in the memory columns.
 //
 // Usage:
 //
@@ -137,21 +138,44 @@ func run(oldPath, newPath string, w io.Writer) error {
 	}
 	sort.Strings(names)
 
+	// Benchmarks run without -benchmem carry no memory measurements; their
+	// B/op and allocs/op columns render as "-" rather than fabricated zeros
+	// (a zero would read as "allocation-free", which is a real claim other
+	// benchmarks in these artifacts do make).
+	memCols := func(m metrics) (string, string) {
+		if !m.HasMem {
+			return "-", "-"
+		}
+		return strconv.FormatFloat(m.BytesPerOp, 'f', 0, 64), strconv.FormatFloat(m.AllocsPerOp, 'f', 0, 64)
+	}
+
 	fmt.Fprintf(w, "%-40s %14s %14s %8s %9s %9s %8s %10s %10s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "Δ", "old B/op", "new B/op", "Δ",
 		"old allocs", "new allocs", "Δ")
 	for _, name := range names {
 		n := news[name]
+		nB, nA := memCols(n)
 		o, ok := olds[name]
 		if !ok {
-			fmt.Fprintf(w, "%-40s %14s %14.1f %8s %9s %9.0f %8s %10s %10.0f %8s\n",
-				name, "-", n.NsPerOp, "new", "-", n.BytesPerOp, "new", "-", n.AllocsPerOp, "new")
+			memNew := "new"
+			if !n.HasMem {
+				memNew = "-"
+			}
+			fmt.Fprintf(w, "%-40s %14s %14.1f %8s %9s %9s %8s %10s %10s %8s\n",
+				name, "-", n.NsPerOp, "new", "-", nB, memNew, "-", nA, memNew)
 			continue
 		}
-		fmt.Fprintf(w, "%-40s %14.1f %14.1f %8s %9.0f %9.0f %8s %10.0f %10.0f %8s\n",
+		oB, oA := memCols(o)
+		memDelta := func(old, new float64) string {
+			if !o.HasMem || !n.HasMem {
+				return "-"
+			}
+			return delta(old, new)
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.1f %8s %9s %9s %8s %10s %10s %8s\n",
 			name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
-			o.BytesPerOp, n.BytesPerOp, delta(o.BytesPerOp, n.BytesPerOp),
-			o.AllocsPerOp, n.AllocsPerOp, delta(o.AllocsPerOp, n.AllocsPerOp))
+			oB, nB, memDelta(o.BytesPerOp, n.BytesPerOp),
+			oA, nA, memDelta(o.AllocsPerOp, n.AllocsPerOp))
 	}
 	for name := range olds {
 		if _, ok := news[name]; !ok {

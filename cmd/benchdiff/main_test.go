@@ -71,6 +71,40 @@ func TestRunDiffsTest2JSONStreams(t *testing.T) {
 	}
 }
 
+// TestRunRendersDashForMissingMemStats: benchmarks recorded without
+// -benchmem must show "-" in the B/op and allocs/op columns, not a
+// fabricated 0 (which would read as an allocation-free claim).
+func TestRunRendersDashForMissingMemStats(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	new := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(old, []byte("BenchmarkNoMem-8 \t100\t50.0 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(new, []byte("BenchmarkNoMem-8 \t100\t40.0 ns/op\nBenchmarkFreshNoMem-8 \t100\t7.0 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(old, new, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// name, old ns, new ns, Δ, then six memory columns — all dashes.
+		if len(fields) != 10 {
+			t.Fatalf("row has %d columns, want 10: %q", len(fields), line)
+		}
+		for _, f := range fields[4:] {
+			if f != "-" {
+				t.Errorf("memory column %q in %q, want \"-\"", f, line)
+			}
+		}
+	}
+}
+
 func TestRunRejectsEmptyNew(t *testing.T) {
 	dir := t.TempDir()
 	empty := filepath.Join(dir, "empty.json")

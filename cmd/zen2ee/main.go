@@ -5,7 +5,7 @@
 //
 //	zen2ee list                          # list all experiments
 //	zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json]
-//	zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json]
+//	zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json] [-o F]
 //	zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
 //
 // Scale 1 gives quick, statistically meaningful runs; the paper's full
@@ -18,12 +18,17 @@
 // single batched run: every (configuration, experiment, shard) triple
 // shares one worker pool, and each configuration's section of the output
 // is byte-identical to the standalone `zen2ee run` of that configuration.
+// Output streams section by section as configurations complete, so memory
+// is bounded by the in-flight window, not the grid; -o writes the document
+// through a temp file renamed into place only on success.
 package main
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -66,7 +71,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   zen2ee list
   zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json]
-  zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json]
+  zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json] [-o F]
   zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
 
 flags (accepted before or after the positional argument):
@@ -80,6 +85,9 @@ flags (accepted before or after the positional argument):
   -csv         emit rows as CSV instead of aligned tables
   -json        emit the canonical JSON document (identical bytes to what
                the zen2eed daemon serves for the same spec)
+  -o F         sweep only: write the output to F via a temp file renamed
+               into place on success, so an interrupted run never leaves
+               a truncated document behind
   -cpuprofile F  write a CPU profile of the command to F (like go test's
                flag); inspect with 'go tool pprof F'
   -memprofile F  write a post-GC heap profile of the command to F
@@ -105,7 +113,8 @@ type experimentFlags struct {
 	seeds      []uint64  // sweep seed axis (-seeds)
 	csv        bool
 	jsonOut    bool
-	parallel   int // worker count; 0 means runtime.NumCPU()
+	output     string // sweep destination file (-o); empty means stdout
+	parallel   int    // worker count; 0 means runtime.NumCPU()
 	cpuprofile string
 	memprofile string
 	pos        []string
@@ -175,6 +184,8 @@ func parseExperimentArgs(args []string) (experimentFlags, error) {
 					err = fmt.Errorf("must be >= 1")
 				}
 			}
+		case "o":
+			f.output, err = takeValue()
 		case "cpuprofile":
 			f.cpuprofile, err = takeValue()
 		case "memprofile":
@@ -322,6 +333,9 @@ func rejectSweepAxes(cmd string, f experimentFlags) error {
 	if len(f.scales) > 0 || len(f.seeds) > 0 {
 		return fmt.Errorf("-scales/-seeds are sweep flags; %s takes -scale and -seed", cmd)
 	}
+	if f.output != "" {
+		return fmt.Errorf("-o is a sweep flag; redirect %s's stdout instead", cmd)
+	}
 	return nil
 }
 
@@ -385,7 +399,11 @@ func runExperiments(f experimentFlags) error {
 }
 
 // sweep runs the -scales × -seeds configuration grid over the named
-// experiments (all of them by default) as one batched scheduler run.
+// experiments (all of them by default) as one batched scheduler run,
+// streaming each configuration's output as its last shard finishes —
+// memory stays bounded by the configurations in flight, never by the grid
+// size. With -o the document lands via temp-file + rename, so an
+// interrupted run leaves the target untouched instead of truncated.
 func sweep(args []string) error {
 	f, err := parseExperimentArgs(args)
 	if err != nil {
@@ -403,31 +421,123 @@ func sweep(args []string) error {
 	}
 	return f.withProfiles(func() error {
 		sw := core.Sweep{IDs: ids, Configs: core.Grid(f.scales, f.seeds)}
-		sr, err := core.RunSweep(sw, core.RunConfig{Workers: f.parallel}, printProgress)
+		out, commit, err := openOutput(f.output)
 		if err != nil {
-			// Unlike run, a sweep is usually unattended (it is the batch
-			// shape); partial documents would be mistaken for complete ones.
 			return err
 		}
 		if f.jsonOut {
-			// The canonical sweep document: each per-config section carries
-			// the exact bytes `zen2ee run -json` (and the zen2eed daemon)
-			// produce for that configuration alone.
-			doc, err := report.MarshalSweep(sr)
-			if err != nil {
-				return err
-			}
-			_, err = os.Stdout.Write(doc)
+			return commit(streamSweepJSON(out, sw, f.parallel))
+		}
+		return commit(streamSweepTables(out, sw, f.parallel))
+	})
+}
+
+// openOutput resolves the sweep's destination: stdout when path is empty,
+// otherwise a temp file in the target's directory (same filesystem, so the
+// rename is atomic). commit finalizes: on success it renames the temp over
+// the target; on any error it removes the temp and the target is never
+// touched. Stdout needs no such care — a truncated JSON document is
+// invalid, not mistakable for a complete one.
+func openOutput(path string) (io.Writer, func(error) error, error) {
+	if path == "" {
+		return os.Stdout, func(err error) error { return err }, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	commit := func(err error) error {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
 			return err
 		}
-		for _, run := range sr.Runs {
-			fmt.Printf("==== scale %g, seed %d ====\n\n", run.Config.Scale, run.Config.Seed)
-			for _, r := range run.Results {
-				fmt.Println(r.Table())
-			}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			os.Remove(tmp.Name())
+			return err
 		}
 		return nil
-	})
+	}
+	return tmp, commit, nil
+}
+
+// streamSweepJSON emits the canonical sweep document section by section as
+// configurations complete: each per-config section carries the exact bytes
+// `zen2ee run -json` (and the zen2eed daemon) produce for that
+// configuration alone, and the whole document is byte-identical to the
+// collected report.MarshalSweep output. The SweepWriter reorders
+// out-of-completion-order sections internally, so the document is in
+// request order without the CLI ever holding more than the in-flight
+// window.
+func streamSweepJSON(w io.Writer, sw core.Sweep, parallel int) error {
+	// Validate before the writer emits the document header, so bad requests
+	// fail without partial output.
+	ids, err := core.CanonicalIDs(sw.IDs)
+	if err != nil {
+		return err
+	}
+	if err := sw.Validate(); err != nil {
+		return err
+	}
+	sweepW, err := report.NewSweepWriter(w, ids, sw.Configs)
+	if err != nil {
+		return err
+	}
+	var cbErr error
+	err = core.RunSweepStream(sw, core.RunConfig{Workers: parallel}, func(i int, cr core.ConfigResult, cfgErr error) {
+		if cfgErr != nil || cbErr != nil {
+			return // the config's failure is joined into the returned error
+		}
+		doc, merr := report.MarshalResults(cr.Results, cr.Config)
+		if merr != nil {
+			cbErr = merr
+			return
+		}
+		if werr := sweepW.WriteSection(i, doc); werr != nil {
+			cbErr = werr
+		}
+	}, printProgress)
+	if err == nil {
+		err = cbErr
+	}
+	if err != nil {
+		// Unlike run, a sweep is usually unattended (it is the batch
+		// shape); never finalize a document with missing sections.
+		return err
+	}
+	return sweepW.Close()
+}
+
+// streamSweepTables prints per-configuration tables in request order as
+// configurations complete, reordering out-of-order completions through a
+// small pending map (bounded by the scheduler's in-flight window). On a
+// failed configuration the stream stops at its index: tables after a gap
+// would read as a complete study.
+func streamSweepTables(w io.Writer, sw core.Sweep, parallel int) error {
+	next := 0
+	pending := make(map[int]core.ConfigResult)
+	return core.RunSweepStream(sw, core.RunConfig{Workers: parallel}, func(i int, cr core.ConfigResult, cfgErr error) {
+		if cfgErr != nil {
+			return // joined into the returned error; the section stays unprinted
+		}
+		pending[i] = cr
+		for {
+			cr, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			next++
+			fmt.Fprintf(w, "==== scale %g, seed %d ====\n\n", cr.Config.Scale, cr.Config.Seed)
+			for _, r := range cr.Results {
+				fmt.Fprintln(w, r.Table())
+			}
+		}
+	}, printProgress)
 }
 
 func genExperiments(args []string) error {

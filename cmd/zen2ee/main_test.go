@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
 	"zen2ee/internal/core"
+	"zen2ee/internal/report"
 )
 
 func TestParseExperimentArgs(t *testing.T) {
@@ -39,6 +43,8 @@ func TestParseExperimentArgs(t *testing.T) {
 			experimentFlags{opts: opts(1, 1), seeds: []uint64{2, 5, 6, 7, 10}}},
 		{"profiling flags", []string{"fig7", "-cpuprofile", "cpu.out", "-memprofile=mem.out"},
 			experimentFlags{opts: opts(1, 1), cpuprofile: "cpu.out", memprofile: "mem.out", pos: []string{"fig7"}}},
+		{"output file", []string{"-o", "out.json", "-json", "fig1"},
+			experimentFlags{opts: opts(1, 1), jsonOut: true, output: "out.json", pos: []string{"fig1"}}},
 	}
 	for _, c := range cases {
 		got, err := parseExperimentArgs(c.args)
@@ -89,11 +95,65 @@ func TestSweepCommandGuards(t *testing.T) {
 		"sweep -scale":           func() error { return sweep([]string{"-scale", "2", "fig1"}) },
 		"sweep -csv":             func() error { return sweep([]string{"-csv", "fig1"}) },
 		"run -scales":            func() error { return run([]string{"-scales", "1,2", "fig1"}) },
+		"run -o":                 func() error { return run([]string{"-o", "out.json", "fig1"}) },
 		"gen-experiments -seeds": func() error { return genExperiments([]string{"-seeds", "1..2"}) },
+		"gen-experiments -o":     func() error { return genExperiments([]string{"-o", "out.json"}) },
 		"sweep duplicate ids":    func() error { return sweep([]string{"fig1", "fig1"}) },
 	} {
 		if err := call(); err == nil {
 			t.Errorf("%s: accepted, want error", name)
 		}
+	}
+}
+
+// TestSweepOutputFileAtomic: `sweep -json -o F` writes the exact collected
+// sweep document through a temp file renamed into place, and a failing
+// sweep leaves the previous file untouched with no temp debris.
+func TestSweepOutputFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.json")
+	if err := sweep([]string{"fig1", "-scales", "0.2", "-seeds", "1,2", "-json", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := core.RunSweep(core.Sweep{
+		IDs: []string{"fig1"}, Configs: core.Grid([]float64{0.2}, []uint64{1, 2}),
+	}, core.RunConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := report.MarshalSweep(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("streamed -o document differs from the collected MarshalSweep bytes")
+	}
+
+	// A failing sweep must leave the existing document alone and clean up
+	// its temp file.
+	if err := sweep([]string{"nonexistent", "-json", "-o", path}); err == nil {
+		t.Fatal("sweep of an unknown id succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, got) {
+		t.Error("failed sweep modified the previous output file")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "sweep.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("output directory holds %v, want only sweep.json (no temp debris)", names)
 	}
 }

@@ -6,7 +6,7 @@
 // single jobs use.
 //
 // Usage: zen2eed [-addr :8080] [-executors N] [-queue N] [-cache N]
-// [-sse-keepalive D] [-pprof]
+// [-cache-bytes N] [-sse-keepalive D] [-pprof]
 //
 //	curl -d '{"ids":["fig3"],"scale":1,"seed":1}' localhost:8080/v1/jobs
 //	curl -d '{"ids":["fig7"],"scales":[1,2],"seeds":[1,2,3]}' localhost:8080/v1/sweeps
@@ -53,6 +53,8 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&o.cfg.Executors, "executors", 2, "experiment shards simulating concurrently across all jobs (a lone heavy job fans out over the whole pool)")
 	fs.IntVar(&o.cfg.QueueDepth, "queue", 64, "bounded job queue depth; submissions beyond it get 503")
 	fs.IntVar(&o.cfg.CacheEntries, "cache", 256, "content-addressed result cache entries")
+	fs.Int64Var(&o.cfg.CacheBytes, "cache-bytes", 0,
+		"result cache byte bound: entries are weighted by payload size and evicted LRU-first past it (0 = unbounded; the entry bound still applies)")
 	fs.DurationVar(&o.cfg.SSEKeepAlive, "sse-keepalive", 15*time.Second,
 		"idle interval between SSE comment frames on progress streams (keeps proxies from dropping long sweeps)")
 	fs.BoolVar(&o.pprof, "pprof", false,
@@ -65,6 +67,9 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	}
 	if o.cfg.Executors < 1 || o.cfg.QueueDepth < 1 || o.cfg.CacheEntries < 1 {
 		return o, fmt.Errorf("-executors, -queue and -cache must be >= 1")
+	}
+	if o.cfg.CacheBytes < 0 {
+		return o, fmt.Errorf("-cache-bytes must be >= 0 (0 means unbounded)")
 	}
 	if o.cfg.SSEKeepAlive < time.Second {
 		return o, fmt.Errorf("-sse-keepalive must be >= 1s")

@@ -232,8 +232,12 @@ func (er *expRun) shardOptions(i int) Options {
 }
 
 // finalize runs once per experiment, on the worker completing its last
-// shard: it joins shard failures or reduces the outputs into the Result.
+// shard: it joins shard failures or reduces the outputs into the Result,
+// then drops the shard buffers — after finalize only result/err matter, and
+// releasing outs here (rather than when the whole sweep drains) is what
+// keeps a streaming sweep's live heap proportional to the shards in flight.
 func (er *expRun) finalize() {
+	defer func() { er.outs, er.errs, er.shards = nil, nil, nil }()
 	if err := errors.Join(er.errs...); err != nil {
 		er.err = fmt.Errorf("core: %s: %w", er.tag, err)
 		return
@@ -263,29 +267,59 @@ func (er *expRun) elapsed() time.Duration {
 // kept as the seam scheduler tests inject failing or panicking experiments
 // through without touching the global registry.
 func runSet(exps []Experiment, o Options, cfg RunConfig, progress func(Progress)) ([]*Result, error) {
-	perConfig, err := runSweep(exps, []Config{o}, cfg, progress)
-	return perConfig[0], err
+	var out []*Result
+	err := runSweep(exps, []Config{o}, cfg, func(_ int, cr ConfigResult, _ error) { out = cr.Results }, progress)
+	return out, err
 }
 
 // runSweep is the scheduler core: the merged task set over every
 // (configuration, experiment, shard) triple, fanned across one worker pool.
 // It operates on an explicit experiment set so tests can inject synthetic
-// experiments, and returns per-configuration result slices in request
-// order (each in paper order), plus one joined error over every failure.
+// experiments. Configurations are delivered through onConfig as they
+// complete (see RunSweepStream for the callback contract); the returned
+// error joins every failure across the whole sweep.
 //
 // Each configuration derives its experiment and shard seed streams exactly
-// as a standalone single-configuration run would, so perConfig[i] is
-// identical to what runSet(exps, configs[i], ...) computes — batching
-// changes scheduling, never results.
-func runSweep(exps []Experiment, configs []Config, cfg RunConfig, progress func(Progress)) ([][]*Result, error) {
+// as a standalone single-configuration run would, so the ConfigResult for
+// configs[i] is identical to what runSet(exps, configs[i], ...) computes —
+// batching changes scheduling, never results.
+func runSweep(exps []Experiment, configs []Config, cfg RunConfig, onConfig ReduceConfig, progress func(Progress)) error {
 	// Plan phase: resolve every (configuration, experiment) pair to its
 	// shards up front, so the task channel and the event buffer can be
 	// sized exactly and task submission never blocks a worker.
 	runs := make([][]*expRun, len(configs))
 	pairs := len(configs) * len(exps)
 	total := 0
+
+	// Per-configuration completion: cfgRemaining[ci] counts the
+	// configuration's unfinished (experiment) pairs; the goroutine that
+	// decrements it to zero assembles the ConfigResult in paper order,
+	// records the configuration's joined error, hands the section to
+	// onConfig (serialized under onMu), and drops runs[ci] so the expRuns —
+	// and through them every Result the caller chose not to retain — become
+	// collectable while later configurations are still executing.
+	cfgRemaining := make([]atomic.Int32, len(configs))
+	cfgErrs := make([]error, len(configs))
+	var onMu sync.Mutex
+	deliver := func(ci int) {
+		ers := runs[ci]
+		out := make([]*Result, 0, len(ers))
+		errs := make([]error, 0, len(ers))
+		for _, er := range ers {
+			if er.result != nil {
+				out = append(out, er.result)
+			}
+			errs = append(errs, er.err)
+		}
+		cfgErrs[ci] = errors.Join(errs...)
+		runs[ci] = nil
+		onMu.Lock()
+		defer onMu.Unlock()
+		onConfig(ci, ConfigResult{Config: configs[ci], Results: out}, cfgErrs[ci])
+	}
 	for ci, o := range configs {
 		runs[ci] = make([]*expRun, len(exps))
+		cfgRemaining[ci].Store(int32(len(exps)))
 		for i, e := range exps {
 			er := &expRun{exp: e, opts: o.perExperiment(e.ID), tag: e.ID, planned: e.Plan != nil}
 			if len(configs) > 1 {
@@ -328,12 +362,23 @@ func runSweep(exps []Experiment, configs []Config, cfg RunConfig, progress func(
 		defer func() { close(events); <-emitterDone }()
 	}
 
-	// Pairs that failed to plan complete immediately.
+	// Pairs that failed to plan complete immediately; a configuration whose
+	// every pair failed to plan is delivered before the workers start.
 	for ci, ers := range runs {
 		for i, er := range ers {
 			if er.err != nil {
 				emit(Progress{ID: er.exp.ID, Index: i, Config: ci, Err: er.err})
+				if cfgRemaining[ci].Add(-1) == 0 {
+					deliver(ci)
+				}
 			}
+		}
+	}
+	// A degenerate empty experiment set has no pairs to count down; deliver
+	// every configuration's (empty) section directly.
+	if len(exps) == 0 {
+		for ci := range configs {
+			deliver(ci)
 		}
 	}
 
@@ -385,31 +430,23 @@ func runSweep(exps []Experiment, configs []Config, cfg RunConfig, progress func(
 					})
 				}
 				if er.remaining.Add(-1) == 0 {
+					shards := len(er.shards)
 					er.finalize()
 					emit(Progress{
 						ID: er.exp.ID, Index: t.exp, Config: t.config,
-						Shards:  len(er.shards),
+						Shards:  shards,
 						Elapsed: er.elapsed(), Err: er.err,
 					})
+					if cfgRemaining[t.config].Add(-1) == 0 {
+						deliver(t.config)
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
 
-	perConfig := make([][]*Result, len(configs))
-	errs := make([]error, 0, pairs)
-	for ci, ers := range runs {
-		out := make([]*Result, 0, len(exps))
-		for _, er := range ers {
-			if er.result != nil {
-				out = append(out, er.result)
-			}
-			errs = append(errs, er.err)
-		}
-		perConfig[ci] = out
-	}
-	return perConfig, errors.Join(errs...)
+	return errors.Join(cfgErrs...)
 }
 
 // planForGuarded converts a plan panic into an error so one broken planner

@@ -86,6 +86,63 @@ type SweepResult struct {
 	Runs []ConfigResult `json:"runs"`
 }
 
+// ReduceConfig consumes one configuration's completed section of a
+// streaming sweep: i is the configuration's index in the request's Configs,
+// cr its results in paper order, and err the joined failure of any of its
+// experiments (cr still carries whatever succeeded). See RunSweepStream for
+// the invocation contract.
+type ReduceConfig func(i int, cr ConfigResult, err error)
+
+// CanonicalIDs resolves a requested experiment-ID set to the canonical
+// form run documents carry: paper-order IDs for a proper subset of the
+// registry, nil when the request covers the full registry (including an
+// empty request). Invalid sets fail exactly as ResolveIDs does.
+func CanonicalIDs(ids []string) ([]string, error) {
+	exps, err := ResolveIDs(ids)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 || len(exps) == len(Registry()) {
+		return nil, nil
+	}
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.ID
+	}
+	return out, nil
+}
+
+// RunSweepStream executes a batched sweep exactly as RunSweep does — one
+// merged task set over every (configuration, experiment, shard) triple,
+// fanned across the RunConfig's worker pool — but instead of accumulating
+// a SweepResult it hands each ConfigResult to onConfig the moment the
+// configuration's last (experiment, shard) task finishes, then releases
+// the scheduler's backing buffers for it. Memory is therefore proportional
+// to the configurations in flight, not to the sweep size: what the caller
+// does not retain out of cr is collectable as soon as onConfig returns.
+//
+// Callback contract: onConfig is required, invoked exactly once per
+// configuration in completion order (not request order — consumers needing
+// request order reorder themselves; report.SweepWriter does), and is
+// serialized — never invoked concurrently. It runs on a scheduler worker
+// goroutine, so a slow callback stalls one worker; keep it cheap or hand
+// off. Per-configuration failures arrive as the callback's err (cr still
+// carries the configuration's surviving results) and are also joined into
+// the returned error alongside every other configuration's failures.
+func RunSweepStream(sw Sweep, cfg RunConfig, onConfig ReduceConfig, progress func(Progress)) error {
+	if onConfig == nil {
+		return fmt.Errorf("core: RunSweepStream requires an onConfig callback")
+	}
+	exps, err := ResolveIDs(sw.IDs)
+	if err != nil {
+		return err
+	}
+	if err := sw.Validate(); err != nil {
+		return err
+	}
+	return runSweep(exps, sw.Configs, cfg, onConfig, progress)
+}
+
 // RunSweep executes a batched sweep: every (configuration, experiment,
 // shard) triple is one independent task, fanned across the RunConfig's
 // worker pool (and its optional Acquire gate), so a sweep saturates the
@@ -95,6 +152,10 @@ type SweepResult struct {
 // error. Unlike the Normalize-based internal paths, RunSweep validates at
 // the boundary — invalid or duplicated configurations and unknown or
 // duplicated experiment IDs are an error before any work starts.
+//
+// RunSweep is a collector over RunSweepStream: it retains every section,
+// so memory is O(configs). Callers that can consume sections as they
+// complete should use the stream directly.
 func RunSweep(sw Sweep, cfg RunConfig, progress func(Progress)) (*SweepResult, error) {
 	exps, err := ResolveIDs(sw.IDs)
 	if err != nil {
@@ -103,7 +164,6 @@ func RunSweep(sw Sweep, cfg RunConfig, progress func(Progress)) (*SweepResult, e
 	if err := sw.Validate(); err != nil {
 		return nil, err
 	}
-	perConfig, err := runSweep(exps, sw.Configs, cfg, progress)
 	sr := &SweepResult{Runs: make([]ConfigResult, len(sw.Configs))}
 	if len(sw.IDs) > 0 && len(exps) < len(Registry()) {
 		sr.IDs = make([]string, len(exps))
@@ -111,8 +171,8 @@ func RunSweep(sw Sweep, cfg RunConfig, progress func(Progress)) (*SweepResult, e
 			sr.IDs[i] = e.ID
 		}
 	}
-	for i, c := range sw.Configs {
-		sr.Runs[i] = ConfigResult{Config: c, Results: perConfig[i]}
-	}
+	err = runSweep(exps, sw.Configs, cfg, func(i int, cr ConfigResult, _ error) {
+		sr.Runs[i] = cr
+	}, progress)
 	return sr, err
 }

@@ -104,7 +104,7 @@ func TestRunSweepProgressCarriesConfigIndex(t *testing.T) {
 	configs := Grid([]float64{1, 2}, []uint64{1, 2})
 	var mu sync.Mutex
 	var events []Progress
-	if _, err := runSweep(exps, configs, RunConfig{Workers: 4}, func(p Progress) {
+	if err := runSweep(exps, configs, RunConfig{Workers: 4}, func(int, ConfigResult, error) {}, func(p Progress) {
 		mu.Lock()
 		events = append(events, p)
 		mu.Unlock()
@@ -146,7 +146,11 @@ func TestRunSweepPartialFailure(t *testing.T) {
 	})
 	exps := []Experiment{okExp("a"), boom}
 	configs := []Config{{Scale: 1, Seed: 1}, {Scale: 1, Seed: 2}}
-	perConfig, err := runSweep(exps, configs, RunConfig{Workers: 2}, nil)
+	perConfig := make([][]*Result, len(configs))
+	cfgErrs := make([]error, len(configs))
+	err := runSweep(exps, configs, RunConfig{Workers: 2}, func(i int, cr ConfigResult, cerr error) {
+		perConfig[i], cfgErrs[i] = cr.Results, cerr
+	}, nil)
 	if err == nil {
 		t.Fatal("failure swallowed")
 	}
@@ -160,5 +164,76 @@ func TestRunSweepPartialFailure(t *testing.T) {
 	}
 	if len(perConfig[1]) != 1 || perConfig[1][0].ID != "a" {
 		t.Fatalf("failing config kept wrong results: %v", perConfig[1])
+	}
+	// The failing configuration's callback error carries the same failure
+	// the joined sweep error does; the healthy configuration's is nil.
+	if cfgErrs[0] != nil {
+		t.Fatalf("healthy config delivered an error: %v", cfgErrs[0])
+	}
+	if cfgErrs[1] == nil || !strings.Contains(cfgErrs[1].Error(), "boom") {
+		t.Fatalf("failing config error %v does not name the failure", cfgErrs[1])
+	}
+}
+
+// TestRunSweepStreamMatchesCollector pins the streaming contract:
+// RunSweepStream delivers every configuration exactly once, never
+// concurrently, and the delivered sections equal what the RunSweep
+// collector accumulates for the same request.
+func TestRunSweepStreamMatchesCollector(t *testing.T) {
+	sw := Sweep{IDs: []string{"fig1", "sec5a"}, Configs: Grid([]float64{0.2}, []uint64{1, 2, 3})}
+	want, err := RunSweep(sw, RunConfig{Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	inFlight := 0
+	got := make([]*ConfigResult, len(sw.Configs))
+	err = RunSweepStream(sw, RunConfig{Workers: 4}, func(i int, cr ConfigResult, cerr error) {
+		mu.Lock()
+		inFlight++
+		if inFlight != 1 {
+			t.Error("onConfig invoked concurrently")
+		}
+		mu.Unlock()
+		if cerr != nil {
+			t.Errorf("config %d delivered error: %v", i, cerr)
+		}
+		if got[i] != nil {
+			t.Errorf("config %d delivered twice", i)
+		}
+		cp := cr
+		got[i] = &cp
+		mu.Lock()
+		inFlight--
+		mu.Unlock()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sw.Configs {
+		if got[i] == nil {
+			t.Fatalf("config %d never delivered", i)
+		}
+		if got[i].Config != want.Runs[i].Config {
+			t.Errorf("config %d keyed by %+v, want %+v", i, got[i].Config, want.Runs[i].Config)
+		}
+		if len(got[i].Results) != len(want.Runs[i].Results) {
+			t.Fatalf("config %d: %d streamed results, %d collected", i, len(got[i].Results), len(want.Runs[i].Results))
+		}
+		for j, a := range got[i].Results {
+			b := want.Runs[i].Results[j]
+			if a.ID != b.ID || !reflect.DeepEqual(a.Metrics, b.Metrics) || !reflect.DeepEqual(a.Series, b.Series) {
+				t.Errorf("config %d, %s: streamed section differs from collected section", i, a.ID)
+			}
+		}
+	}
+}
+
+// TestRunSweepStreamRequiresCallback: the stream entry point without a
+// consumer is a programming error, reported before any work starts.
+func TestRunSweepStreamRequiresCallback(t *testing.T) {
+	sw := Sweep{IDs: []string{"fig1"}, Configs: []Config{{Scale: 0.2, Seed: 1}}}
+	if err := RunSweepStream(sw, RunConfig{Workers: 1}, nil, nil); err == nil {
+		t.Fatal("nil onConfig accepted")
 	}
 }

@@ -9,11 +9,35 @@
 package report
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
+	"sync"
 
 	"zen2ee/internal/core"
 )
+
+// marshalBufs pools the scratch buffers behind MarshalResults,
+// MarshalSweepSections, and SweepWriter, so steady-state marshaling (a
+// daemon encoding one section per completed sweep configuration) reuses
+// one buffer instead of growing a fresh one per document.
+var marshalBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getMarshalBuf() *bytes.Buffer {
+	buf := marshalBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+// encodeIndented renders v into buf as json.MarshalIndent(v, prefix,
+// indent) would, plus the trailing newline every canonical document
+// carries. Byte-identity with MarshalIndent is relied on by the golden
+// tests pinning streamed output against the batch marshalers.
+func encodeIndented(buf *bytes.Buffer, v any, prefix, indent string) error {
+	enc := json.NewEncoder(buf)
+	enc.SetIndent(prefix, indent)
+	return enc.Encode(v)
+}
 
 // JSONReport is the top-level JSON document.
 type JSONReport struct {
@@ -42,11 +66,12 @@ func MarshalResults(results []*core.Result, opts core.Options) ([]byte, error) {
 		c.Elapsed = 0
 		doc.Results[i] = &c
 	}
-	b, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
+	buf := getMarshalBuf()
+	defer marshalBufs.Put(buf)
+	if err := encodeIndented(buf, doc, "", "  "); err != nil {
 		return nil, err
 	}
-	return append(b, '\n'), nil
+	return append(make([]byte, 0, buf.Len()), buf.Bytes()...), nil
 }
 
 // WriteJSON writes the canonical JSON document for a result set.

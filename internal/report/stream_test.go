@@ -1,0 +1,247 @@
+package report
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"zen2ee/internal/core"
+)
+
+// sweepCase builds the inputs and the MarshalSweepSections reference
+// document for n synthetic configurations.
+func sweepCase(t *testing.T, ids []string, n int) ([]core.Config, [][]byte, []byte) {
+	t.Helper()
+	configs := make([]core.Config, n)
+	documents := make([][]byte, n)
+	for i := range configs {
+		configs[i] = core.Config{Scale: float64(i%3) + 1, Seed: uint64(i + 1)}
+		var err error
+		if documents[i], err = MarshalResults(fakeResults(configs[i].Seed), configs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := MarshalSweepSections(ids, configs, documents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return configs, documents, want
+}
+
+func streamSweep(t *testing.T, ids []string, configs []core.Config, documents [][]byte, order []int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := NewSweepWriter(&buf, ids, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range order {
+		if err := sw.WriteSection(i, documents[i]); err != nil {
+			t.Fatalf("section %d: %v", i, err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepWriterGolden is the streaming byte-identity gate: for 1, 2, and
+// N configurations — with explicit IDs and with nil IDs (full registry) —
+// the concatenated SweepWriter output equals the MarshalSweepSections
+// document, for in-order, reversed, and shuffled completion orders.
+func TestSweepWriterGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ids  []string
+		n    int
+	}{
+		{"one-config", []string{"fig1", "sec5a"}, 1},
+		{"two-configs", []string{"fig1", "sec5a"}, 2},
+		{"many-configs", []string{"fig1", "sec5a"}, 9},
+		{"full-registry-nil-ids", nil, 3},
+		{"zero-configs", []string{"fig1"}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			configs, documents, want := sweepCase(t, tc.ids, tc.n)
+
+			inOrder := make([]int, tc.n)
+			reversed := make([]int, tc.n)
+			for i := range inOrder {
+				inOrder[i] = i
+				reversed[i] = tc.n - 1 - i
+			}
+			shuffled := append([]int(nil), inOrder...)
+			rand.New(rand.NewSource(42)).Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+
+			for name, order := range map[string][]int{
+				"in-order": inOrder, "reversed": reversed, "shuffled": shuffled,
+			} {
+				got := streamSweep(t, tc.ids, configs, documents, order)
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s completion: streamed document differs from MarshalSweepSections:\n got %q\nwant %q", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepWriterAgainstRunSweepStream pins the byte-identity end to end:
+// sections marshaled inside a real RunSweepStream run — arriving in
+// whatever order the scheduler completes them — stream into the exact
+// MarshalSweep document of the collected RunSweep for the same request.
+func TestSweepWriterAgainstRunSweepStream(t *testing.T) {
+	sw := core.Sweep{IDs: []string{"fig1", "sec5a"}, Configs: core.Grid([]float64{0.2}, []uint64{1, 2, 3, 4})}
+	sr, err := core.RunSweep(sw, core.RunConfig{Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarshalSweep(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids, err := core.CanonicalIDs(sw.IDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewSweepWriter(&buf, ids, sw.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamErr error
+	err = core.RunSweepStream(sw, core.RunConfig{Workers: 4}, func(i int, cr core.ConfigResult, cerr error) {
+		if cerr != nil {
+			streamErr = cerr
+			return
+		}
+		doc, merr := MarshalResults(cr.Results, cr.Config)
+		if merr != nil {
+			streamErr = merr
+			return
+		}
+		if werr := w.WriteSection(i, doc); werr != nil {
+			streamErr = werr
+		}
+	}, nil)
+	if err != nil || streamErr != nil {
+		t.Fatal(err, streamErr)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("streamed sweep document differs from collected MarshalSweep bytes")
+	}
+}
+
+// TestSweepWriterErrors covers the misuse surface: out-of-range and
+// duplicate sections, empty documents, premature Close, writes after
+// Close, and the sticky-error contract.
+func TestSweepWriterErrors(t *testing.T) {
+	configs, documents, _ := sweepCase(t, nil, 3)
+
+	newWriter := func(t *testing.T) (*bytes.Buffer, *SweepWriter) {
+		var buf bytes.Buffer
+		sw, err := NewSweepWriter(&buf, nil, configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &buf, sw
+	}
+
+	t.Run("out-of-range", func(t *testing.T) {
+		_, sw := newWriter(t)
+		if err := sw.WriteSection(3, documents[0]); err == nil {
+			t.Fatal("out-of-range section accepted")
+		}
+		if err := sw.WriteSection(0, documents[0]); err == nil {
+			t.Fatal("writer not poisoned after failure")
+		}
+	})
+	t.Run("duplicate-emitted", func(t *testing.T) {
+		_, sw := newWriter(t)
+		if err := sw.WriteSection(0, documents[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteSection(0, documents[0]); err == nil {
+			t.Fatal("duplicate emitted section accepted")
+		}
+	})
+	t.Run("duplicate-windowed", func(t *testing.T) {
+		_, sw := newWriter(t)
+		if err := sw.WriteSection(2, documents[2]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteSection(2, documents[2]); err == nil {
+			t.Fatal("duplicate windowed section accepted")
+		}
+	})
+	t.Run("empty-document", func(t *testing.T) {
+		_, sw := newWriter(t)
+		if err := sw.WriteSection(0, nil); err == nil {
+			t.Fatal("empty document accepted")
+		}
+	})
+	t.Run("incomplete-close", func(t *testing.T) {
+		buf, sw := newWriter(t)
+		if err := sw.WriteSection(0, documents[0]); err != nil {
+			t.Fatal(err)
+		}
+		before := buf.Len()
+		if err := sw.Close(); err == nil {
+			t.Fatal("incomplete document closed")
+		}
+		if buf.Len() != before {
+			t.Error("failed Close still wrote the document tail")
+		}
+		// The truncated output must not parse as a sweep document.
+		if _, err := UnmarshalSweep(buf.Bytes()); err == nil {
+			t.Error("interrupted stream parses as a complete document")
+		}
+	})
+	t.Run("write-after-close", func(t *testing.T) {
+		_, sw := newWriter(t)
+		for i := range configs {
+			if err := sw.WriteSection(i, documents[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteSection(0, documents[0]); err == nil {
+			t.Fatal("write after Close accepted")
+		}
+	})
+	t.Run("reorder-window-bound", func(t *testing.T) {
+		_, sw := newWriter(t)
+		sw.SetMaxPending(1)
+		if err := sw.WriteSection(1, documents[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteSection(2, documents[2]); err == nil {
+			t.Fatal("reorder window bound not enforced")
+		}
+	})
+}
+
+// TestSweepWriterLargeOutOfOrder drains a bigger reorder window than any
+// scheduler skew would produce, to catch off-by-ones in the drain loop.
+func TestSweepWriterLargeOutOfOrder(t *testing.T) {
+	const n = 25
+	ids := []string{"fig1", "sec5a"}
+	configs, documents, want := sweepCase(t, ids, n)
+	// Worst case: section 0 arrives last, so every other section windows.
+	order := make([]int, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		order = append(order, i)
+	}
+	got := streamSweep(t, ids, configs, documents, order)
+	if !bytes.Equal(got, want) {
+		t.Error("fully reversed completion order broke byte-identity")
+	}
+}

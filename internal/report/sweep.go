@@ -75,11 +75,14 @@ func MarshalSweepSections(ids []string, configs []core.Config, documents [][]byt
 		}
 		doc.Configs[i] = SweepSection{Config: c, Report: json.RawMessage(documents[i])}
 	}
-	b, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
+	// Deliberately a whole-document marshal, not a SweepWriter loop: the
+	// two independent encoders are what the streaming golden tests compare.
+	buf := getMarshalBuf()
+	defer marshalBufs.Put(buf)
+	if err := encodeIndented(buf, doc, "", "  "); err != nil {
 		return nil, err
 	}
-	return append(b, '\n'), nil
+	return append(make([]byte, 0, buf.Len()), buf.Bytes()...), nil
 }
 
 // MarshalSweep renders a sweep outcome as the canonical sweep document.

@@ -13,12 +13,17 @@ import (
 )
 
 // resultCache is a bounded LRU of marshaled result payloads keyed by the
-// job spec's content address.
+// job spec's content address. Two bounds apply together: an entry-count
+// cap, and an optional byte cap weighting every entry by its payload size
+// — the honest bound for a cache whose entries range from a one-experiment
+// document to a 25-scale full-suite section.
 type resultCache struct {
-	mu    sync.Mutex
-	max   int
-	order *list.List // front = most recently used
-	items map[string]*list.Element
+	mu       sync.Mutex
+	max      int
+	maxBytes int64 // 0 = no byte bound
+	curBytes int64
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
 }
 
 type cacheEntry struct {
@@ -26,11 +31,14 @@ type cacheEntry struct {
 	payload []byte
 }
 
-func newResultCache(max int) *resultCache {
+func newResultCache(max int, maxBytes int64) *resultCache {
 	if max < 1 {
 		max = 1
 	}
-	return &resultCache{max: max, order: list.New(), items: map[string]*list.Element{}}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return &resultCache{max: max, maxBytes: maxBytes, order: list.New(), items: map[string]*list.Element{}}
 }
 
 // get returns the cached payload and refreshes its recency.
@@ -45,20 +53,35 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).payload, true
 }
 
-// put stores a payload, evicting the least recently used entry when full.
+// put stores a payload, evicting least-recently-used entries while either
+// bound is exceeded. A single payload larger than the byte bound is kept
+// alone rather than rejected — the bound sheds accumulation, and refusing
+// the entry would force the next identical request to re-simulate what was
+// just computed.
 func (c *resultCache) put(key string, payload []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).payload = payload
+		e := el.Value.(*cacheEntry)
+		c.curBytes += int64(len(payload)) - int64(len(e.payload))
+		e.payload = payload
 		c.order.MoveToFront(el)
+		c.evictLocked()
 		return
 	}
 	c.items[key] = c.order.PushFront(&cacheEntry{key: key, payload: payload})
-	for c.order.Len() > c.max {
+	c.curBytes += int64(len(payload))
+	c.evictLocked()
+}
+
+func (c *resultCache) evictLocked() {
+	for c.order.Len() > 1 &&
+		(c.order.Len() > c.max || (c.maxBytes > 0 && c.curBytes > c.maxBytes)) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.items, e.key)
+		c.curBytes -= int64(len(e.payload))
 	}
 }
 
@@ -66,4 +89,12 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// bytes reports the summed payload size of the cached entries, exported as
+// the zen2eed_cache_bytes gauge.
+func (c *resultCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
 }

@@ -81,18 +81,7 @@ func validateWorkers(w *int) error {
 // paper order, nil when it names the whole registry. Unknown and duplicate
 // IDs are errors (core.ResolveIDs rejects both).
 func canonicalIDs(req []string) ([]string, error) {
-	exps, err := core.ResolveIDs(req)
-	if err != nil {
-		return nil, err
-	}
-	if len(exps) == len(core.Registry()) {
-		return nil, nil
-	}
-	ids := make([]string, len(exps))
-	for i, e := range exps {
-		ids[i] = e.ID
-	}
-	return ids, nil
+	return core.CanonicalIDs(req)
 }
 
 // options returns the core run options the spec describes.
@@ -104,7 +93,7 @@ func (s Spec) key() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "ids=%s;scale=%s;seed=%d",
 		strings.Join(s.IDs, ","), strconv.FormatFloat(s.Scale, 'g', -1, 64), s.Seed)
-	return hex.EncodeToString(h.Sum(nil))[:16]
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // State is a job lifecycle stage.

@@ -76,6 +76,9 @@ func (m *metrics) observeExperiment(id string, d time.Duration) {
 // scrape time.
 type gauges struct {
 	queueDepth, queueCap, cacheEntries, cacheCap int
+	// cacheBytes is the summed payload size of the cached entries;
+	// cacheBytesCap the configured byte bound (0 = unbounded).
+	cacheBytes, cacheBytesCap int64
 }
 
 // write renders the exposition document. Label sets are emitted in sorted
@@ -108,6 +111,8 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	gauge("zen2eed_queue_capacity", "Bounded run queue capacity.", float64(g.queueCap))
 	gauge("zen2eed_cache_entries", "Result payloads currently cached.", float64(g.cacheEntries))
 	gauge("zen2eed_cache_capacity", "Result cache capacity.", float64(g.cacheCap))
+	gauge("zen2eed_cache_bytes", "Summed payload size of cached result entries.", float64(g.cacheBytes))
+	gauge("zen2eed_cache_capacity_bytes", "Result cache byte bound (0 = unbounded).", float64(g.cacheBytesCap))
 
 	ids := make([]string, 0, len(m.experiments))
 	for id := range m.experiments {

@@ -49,10 +49,13 @@ import (
 type Runner func(ids []string, o core.Options, cfg core.RunConfig, progress func(core.Progress)) ([]*core.Result, error)
 
 // SweepRunner executes the missing configurations of a sweep job as one
-// merged scheduler run; core.RunSweep in production, injectable for tests
-// (which observe exactly which configurations the daemon did not serve
-// from cache).
-type SweepRunner func(sw core.Sweep, cfg core.RunConfig, progress func(core.Progress)) (*core.SweepResult, error)
+// merged streaming scheduler run, delivering each configuration through
+// onConfig as it completes; core.RunSweepStream in production, injectable
+// for tests (which observe exactly which configurations the daemon did not
+// serve from cache). Implementations must honor the RunSweepStream
+// callback contract: onConfig invoked exactly once per configuration,
+// never concurrently.
+type SweepRunner func(sw core.Sweep, cfg core.RunConfig, onConfig core.ReduceConfig, progress func(core.Progress)) error
 
 // Config sizes the daemon.
 type Config struct {
@@ -68,6 +71,11 @@ type Config struct {
 	Executors int
 	// CacheEntries bounds the content-addressed result cache (default 256).
 	CacheEntries int
+	// CacheBytes additionally bounds the result cache by summed payload
+	// size — entries are weighted by their marshaled length, so one
+	// 25-scale full-suite document counts for what it costs. Zero means no
+	// byte bound (the entry bound still applies).
+	CacheBytes int64
 	// JobHistory bounds the in-memory job table (default 4096); the oldest
 	// finished jobs are evicted first, and their payloads remain available
 	// through the result cache until it too evicts them.
@@ -103,7 +111,7 @@ func (c Config) withDefaults() Config {
 		c.Runner = core.RunIDsConfig
 	}
 	if c.SweepRunner == nil {
-		c.SweepRunner = core.RunSweep
+		c.SweepRunner = core.RunSweepStream
 	}
 	return c
 }
@@ -142,7 +150,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		queue:   make(chan *job, cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheEntries),
+		cache:   newResultCache(cfg.CacheEntries, cfg.CacheBytes),
 		metrics: newMetrics(),
 		running: newInflight(),
 		slots:   make(chan struct{}, cfg.Executors),
@@ -228,7 +236,7 @@ func decodeSpec(w http.ResponseWriter, r *http.Request, into any, label string, 
 // constructs the job only when one is actually needed.
 func (s *Server) admit(w http.ResponseWriter, build func() *job, key string) {
 	s.mu.Lock()
-	if j, ok := s.jobs[key]; ok && j.currentState() != StateFailed {
+	if j, ok := s.jobs[key]; ok && j.currentState() != StateFailed && !s.sweepEvicted(j) {
 		// Singleflight: an identical job already exists. A finished job is
 		// a cache hit; a live one absorbs this request without a new run.
 		if j.currentState() == StateDone {
@@ -237,7 +245,7 @@ func (s *Server) admit(w http.ResponseWriter, build func() *job, key string) {
 			s.metrics.add(&s.metrics.jobsDeduped, 1)
 		}
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, j.status(true))
+		writeJSON(w, http.StatusOK, s.statusOf(j, true))
 		return
 	}
 	if payload, ok := s.cache.get(key); ok {
@@ -248,7 +256,7 @@ func (s *Server) admit(w http.ResponseWriter, build func() *job, key string) {
 		s.insertLocked(j)
 		s.metrics.add(&s.metrics.cacheHits, 1)
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, j.status(true))
+		writeJSON(w, http.StatusOK, s.statusOf(j, true))
 		return
 	}
 	j := build()
@@ -333,7 +341,21 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status(true))
+	writeJSON(w, http.StatusOK, s.statusOf(j, true))
+}
+
+// statusOf snapshots a job for the API. Done sweep jobs hold no payload of
+// their own (see executeSweep); their document is assembled from the
+// per-config cache entries, and omitted — never fabricated — if any
+// section has been evicted.
+func (s *Server) statusOf(j *job, includeResults bool) Status {
+	st := j.status(includeResults)
+	if includeResults && j.kind == KindSweep && st.State == StateDone && len(st.Results) == 0 {
+		if doc, err := s.assembleSweep(j.sweep); err == nil {
+			st.Results = doc
+		}
+	}
+	return st
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -345,6 +367,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	payload, state, errMsg := j.result()
 	switch state {
 	case StateDone:
+		if j.kind == KindSweep && payload == nil {
+			s.serveSweepResult(w, j)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(payload)
 	case StateFailed:
@@ -352,6 +378,30 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusConflict, "job is %s; results not ready", state)
 	}
+}
+
+// serveSweepResult streams a done sweep's document straight from its
+// per-config cache entries onto the connection — the daemon never
+// materializes the whole document. Eviction of any section is 410: the
+// job ran, the bytes are gone, and resubmitting recomputes them (admit
+// treats such a job as evicted rather than deduplicating onto it).
+func (s *Server) serveSweepResult(w http.ResponseWriter, j *job) {
+	sections, err := s.sweepSections(j.sweep)
+	if err != nil {
+		writeError(w, http.StatusGone, "sweep results no longer cached (%v); resubmit the sweep", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	sw, err := report.NewSweepWriter(w, j.sweep.IDs, j.sweep.Configs)
+	if err != nil {
+		return // header write failed: the connection is gone
+	}
+	for i, doc := range sections {
+		if sw.WriteSection(i, doc) != nil {
+			return
+		}
+	}
+	_ = sw.Close()
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -422,6 +472,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.write(w, gauges{
 		queueDepth: len(s.queue), queueCap: s.cfg.QueueDepth,
 		cacheEntries: s.cache.len(), cacheCap: s.cfg.CacheEntries,
+		cacheBytes: s.cache.bytes(), cacheBytesCap: s.cfg.CacheBytes,
 	})
 }
 

@@ -97,7 +97,7 @@ func (s SweepSpec) key() string {
 	for _, c := range s.Configs {
 		fmt.Fprintf(h, ";%s:%d", strconv.FormatFloat(c.Scale, 'g', -1, 64), c.Seed)
 	}
-	return hex.EncodeToString(h.Sum(nil))[:16]
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // configKey is the content address configuration i shares with a single
@@ -107,23 +107,30 @@ func (s SweepSpec) configKey(i int) string {
 	return Spec{IDs: s.IDs, Scale: s.Configs[i].Scale, Seed: s.Configs[i].Seed}.key()
 }
 
-// configCachedEvent is the SSE wire form of a configuration served from
-// the per-config cache without running.
+// configCachedEvent is the SSE wire form of a per-configuration section
+// event: "config-cached" when a configuration was served from the
+// per-config cache without running, "config-done" the moment a streamed
+// configuration's section lands in the cache.
 type configCachedEvent struct {
 	Config  int  `json:"config"`
 	Configs int  `json:"configs"`
-	Cached  bool `json:"cached"`
+	Cached  bool `json:"cached,omitempty"`
 }
 
-// executeSweep drives a sweep job: per-config cache probe and
-// singleflight claim, one merged scheduler run over the configurations
-// this job claimed, per-config cache fill, then a wait-and-reprobe round
-// for configurations another executor was already simulating —
-// sweep-document assembly once every section is in hand.
+// executeSweep drives a sweep job on the streaming scheduler: per-config
+// cache probe and singleflight claim, one merged RunSweepStream over the
+// configurations this job claimed — each completed configuration is
+// marshaled, cached under its single-job content address, and announced
+// over SSE the moment its last shard finishes — then a wait-and-reprobe
+// round for configurations another executor was already simulating. The
+// job stores no payload of its own: the sweep document is assembled from
+// the per-config cache entries on demand (statusOf, serveSweepResult), so
+// the daemon's memory is bounded by the sections in flight, never by the
+// sweep size.
 func (s *Server) executeSweep(j *job) {
 	spec := j.sweep
 	n := len(spec.Configs)
-	payloads := make([][]byte, n)
+	done := make([]bool, n)
 	cached := make([]bool, n)
 	pending := make([]int, n)
 	for i := range pending {
@@ -142,9 +149,9 @@ func (s *Server) executeSweep(j *job) {
 				waits = append(waits, wait)
 				continue
 			}
-			if p, ok := s.cache.get(spec.configKey(i)); ok {
+			if _, ok := s.cache.get(spec.configKey(i)); ok {
 				s.running.end(spec.configKey(i))
-				payloads[i], cached[i] = p, true
+				done[i], cached[i] = true, true
 				s.metrics.add(&s.metrics.sweepConfigsCached, 1)
 				j.publish("config-cached", configCachedEvent{Config: i, Configs: n, Cached: true})
 				continue
@@ -166,31 +173,45 @@ func (s *Server) executeSweep(j *job) {
 			runCfg := core.RunConfig{Workers: s.workersFor(spec.Workers), Acquire: s.acquireSlot}
 			// Remap the scheduler's index within the claimed subset onto
 			// the request's configuration list, so stream consumers see
-			// the indices they asked for.
-			sr, err := s.cfg.SweepRunner(core.Sweep{IDs: spec.IDs, Configs: missing}, runCfg,
+			// the indices they asked for. onConfig is serialized by the
+			// SweepRunner contract, so encodeErr needs no lock.
+			var encodeErr error
+			err := s.cfg.SweepRunner(core.Sweep{IDs: spec.IDs, Configs: missing}, runCfg,
+				func(k int, cr core.ConfigResult, cerr error) {
+					if cerr != nil {
+						return // joined into the runner's returned error
+					}
+					i := mine[k]
+					payload, merr := report.MarshalResults(cr.Results, cr.Config)
+					if merr != nil {
+						if encodeErr == nil {
+							encodeErr = fmt.Errorf("encoding config (scale %g, seed %d) results: %w", cr.Config.Scale, cr.Config.Seed, merr)
+						}
+						return
+					}
+					s.cache.put(spec.configKey(i), payload)
+					done[i] = true
+					s.metrics.add(&s.metrics.sweepConfigsRun, 1)
+					j.publish("config-done", configCachedEvent{Config: i, Configs: n})
+				},
 				s.progressPublisher(j, func(ci int) int { return mine[ci] }, n))
-			if err == nil && len(sr.Runs) != len(missing) {
-				err = fmt.Errorf("sweep runner returned %d config sections for %d configurations", len(sr.Runs), len(missing))
+			releaseMine()
+			if err == nil {
+				err = encodeErr
+			}
+			if err == nil {
+				for _, i := range mine {
+					if !done[i] {
+						err = fmt.Errorf("sweep runner never delivered config (scale %g, seed %d)", spec.Configs[i].Scale, spec.Configs[i].Seed)
+						break
+					}
+				}
 			}
 			if err != nil {
-				releaseMine()
 				j.setFailed(err)
 				s.metrics.add(&s.metrics.jobsFailed, 1)
 				return
 			}
-			for k, run := range sr.Runs {
-				payload, merr := report.MarshalResults(run.Results, run.Config)
-				if merr != nil {
-					releaseMine()
-					j.setFailed(fmt.Errorf("encoding config (scale %g, seed %d) results: %w", run.Config.Scale, run.Config.Seed, merr))
-					s.metrics.add(&s.metrics.jobsFailed, 1)
-					return
-				}
-				payloads[mine[k]] = payload
-				s.cache.put(spec.configKey(mine[k]), payload)
-				s.metrics.add(&s.metrics.sweepConfigsRun, 1)
-			}
-			releaseMine()
 		}
 
 		// Only now — holding no claims of our own — wait for concurrent
@@ -203,15 +224,52 @@ func (s *Server) executeSweep(j *job) {
 		pending = theirs
 	}
 
-	doc, err := report.MarshalSweepSections(spec.IDs, spec.Configs, payloads)
-	if err != nil {
-		j.setFailed(fmt.Errorf("encoding sweep document: %w", err))
-		s.metrics.add(&s.metrics.jobsFailed, 1)
-		return
-	}
-	s.cache.put(j.id, doc)
-	j.setDone(doc)
+	// Every section sits in the per-config cache; the job completes
+	// without a payload (no whole-document double-buffering).
+	j.setDone(nil)
 	s.metrics.add(&s.metrics.jobsDone, 1)
+}
+
+// sweepSections collects a sweep's per-configuration payloads from the
+// content-addressed cache, in request order. Any evicted section fails the
+// whole collection — a sweep document with holes would be a lie.
+func (s *Server) sweepSections(spec SweepSpec) ([][]byte, error) {
+	sections := make([][]byte, len(spec.Configs))
+	for i, c := range spec.Configs {
+		p, ok := s.cache.get(spec.configKey(i))
+		if !ok {
+			return nil, fmt.Errorf("config %d (scale %g, seed %d) evicted", i, c.Scale, c.Seed)
+		}
+		sections[i] = p
+	}
+	return sections, nil
+}
+
+// assembleSweep materializes the canonical sweep document from the
+// per-config cache — byte-identical to what a collected run would have
+// produced, since the sections are the exact MarshalResults payloads.
+func (s *Server) assembleSweep(spec SweepSpec) ([]byte, error) {
+	sections, err := s.sweepSections(spec)
+	if err != nil {
+		return nil, err
+	}
+	return report.MarshalSweepSections(spec.IDs, spec.Configs, sections)
+}
+
+// sweepEvicted reports whether a done sweep job can no longer serve its
+// document because a section fell out of the cache. admit treats such a
+// job as absent so resubmission recomputes instead of dead-ending on a
+// 410 forever.
+func (s *Server) sweepEvicted(j *job) bool {
+	if j.kind != KindSweep || j.currentState() != StateDone {
+		return false
+	}
+	for i := range j.sweep.Configs {
+		if _, ok := s.cache.get(j.sweep.configKey(i)); !ok {
+			return true
+		}
+	}
+	return false
 }
 
 // setCachedConfigs records which configurations the sweep served from

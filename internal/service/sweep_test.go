@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -32,7 +33,7 @@ func postSweep(t *testing.T, ts *httptest.Server, body string) (Status, int) {
 	return st, resp.StatusCode
 }
 
-// countingSweepRunner forwards to core.RunSweep while recording the
+// countingSweepRunner forwards to core.RunSweepStream while recording the
 // configuration lists the daemon actually hands to the scheduler — the
 // observable for "only the missing configurations run".
 type countingSweepRunner struct {
@@ -40,11 +41,11 @@ type countingSweepRunner struct {
 	calls [][]core.Config
 }
 
-func (c *countingSweepRunner) run(sw core.Sweep, cfg core.RunConfig, progress func(core.Progress)) (*core.SweepResult, error) {
+func (c *countingSweepRunner) run(sw core.Sweep, cfg core.RunConfig, onConfig core.ReduceConfig, progress func(core.Progress)) error {
 	c.mu.Lock()
 	c.calls = append(c.calls, append([]core.Config(nil), sw.Configs...))
 	c.mu.Unlock()
-	return core.RunSweep(sw, cfg, progress)
+	return core.RunSweepStream(sw, cfg, onConfig, progress)
 }
 
 func (c *countingSweepRunner) ranConfigs() []core.Config {
@@ -417,10 +418,10 @@ func TestSingleJobWaitsForInFlightSweep(t *testing.T) {
 			singleRuns.Add(1)
 			return core.RunIDsConfig(ids, o, rc, progress)
 		},
-		SweepRunner: func(sw core.Sweep, rc core.RunConfig, progress func(core.Progress)) (*core.SweepResult, error) {
+		SweepRunner: func(sw core.Sweep, rc core.RunConfig, onConfig core.ReduceConfig, progress func(core.Progress)) error {
 			started <- struct{}{}
 			<-gate
-			return core.RunSweep(sw, rc, progress)
+			return core.RunSweepStream(sw, rc, onConfig, progress)
 		},
 	}
 	_, ts := newTestServer(t, cfg)
@@ -457,6 +458,203 @@ func TestSingleJobWaitsForInFlightSweep(t *testing.T) {
 	}
 	if string(sec) != singlePayload {
 		t.Fatal("single job payload differs from the sweep's section for the same config")
+	}
+}
+
+// TestSweepServedByAssembly pins the no-double-buffering contract: a done
+// sweep job holds no document of its own — not in the job record, not in
+// the cache under the job id. The result endpoint streams the document
+// assembled from the per-config cache entries (byte-identical to
+// MarshalSweepSections over them), the status endpoint embeds the same
+// bytes, and each section was announced with a config-done event the
+// moment it landed.
+func TestSweepServedByAssembly(t *testing.T) {
+	s, ts := newTestServer(t, Config{Executors: 2})
+
+	st, code := postSweep(t, ts, `{"ids":["fig1"],"scales":[0.2],"seeds":[3,4]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps returned %d", code)
+	}
+	if final := waitState(t, ts, st.ID); final.State != StateDone {
+		t.Fatalf("sweep finished as %+v", final)
+	}
+
+	s.mu.Lock()
+	j := s.jobs[st.ID]
+	s.mu.Unlock()
+	if payload, _, _ := j.result(); payload != nil {
+		t.Error("done sweep job holds a whole-document payload; it must be assembled on demand")
+	}
+	if _, ok := s.cache.get(st.ID); ok {
+		t.Error("assembled sweep document cached under the job id (double-buffering)")
+	}
+
+	// The served document is exactly MarshalSweepSections over the
+	// per-config cache entries.
+	sections := make([][]byte, len(j.sweep.Configs))
+	for i := range j.sweep.Configs {
+		p, ok := s.cache.get(j.sweep.configKey(i))
+		if !ok {
+			t.Fatalf("config %d missing from the per-config cache", i)
+		}
+		sections[i] = p
+	}
+	want, err := report.MarshalSweepSections(j.sweep.IDs, j.sweep.Configs, sections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, code := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("sweep result returned %d", code)
+	}
+	if got != string(want) {
+		t.Error("streamed sweep result differs from MarshalSweepSections over the cached sections")
+	}
+	// The status endpoint embeds the same document (its encoder re-indents
+	// the embedded raw message, so compare compacted forms).
+	statusBody, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID)
+	var full Status
+	if err := json.Unmarshal([]byte(statusBody), &full); err != nil {
+		t.Fatal(err)
+	}
+	var gotCompact, wantCompact bytes.Buffer
+	if err := json.Compact(&gotCompact, full.Results); err != nil {
+		t.Fatalf("status embeds invalid sweep JSON: %v", err)
+	}
+	if err := json.Compact(&wantCompact, want); err != nil {
+		t.Fatal(err)
+	}
+	if gotCompact.String() != wantCompact.String() {
+		t.Error("status endpoint embeds a different sweep document than the result endpoint")
+	}
+
+	// Every streamed configuration produced a config-done section event.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := readSSE(t, resp.Body)
+	resp.Body.Close()
+	doneConfigs := map[int]bool{}
+	for _, e := range events {
+		if e.name != "config-done" {
+			continue
+		}
+		var ev configCachedEvent
+		if err := json.Unmarshal([]byte(e.data), &ev); err != nil {
+			t.Fatalf("config-done event not JSON: %q", e.data)
+		}
+		if ev.Cached {
+			t.Errorf("config-done event %d claims a cache hit", ev.Config)
+		}
+		doneConfigs[ev.Config] = true
+	}
+	if len(doneConfigs) != 2 || !doneConfigs[0] || !doneConfigs[1] {
+		t.Errorf("config-done events covered %v, want configs 0 and 1", doneConfigs)
+	}
+
+	// The byte-weighted cache gauge reflects the cached sections.
+	metricsText, _ := getBody(t, ts.URL+"/metrics")
+	if want := fmt.Sprintf("zen2eed_cache_bytes %d", s.cache.bytes()); !strings.Contains(metricsText, want) {
+		t.Errorf("metrics missing %q", want)
+	}
+}
+
+// TestSweepEvictionRerun: when a done sweep's sections fall out of the
+// cache, the result endpoint answers 410 Gone, the status endpoint omits
+// (never fabricates) the document, and resubmitting the identical sweep
+// reruns it instead of deduplicating onto the hollow job.
+func TestSweepEvictionRerun(t *testing.T) {
+	counter := &countingSweepRunner{}
+	_, ts := newTestServer(t, Config{CacheEntries: 1, SweepRunner: counter.run})
+
+	const body = `{"ids":["fig1"],"scales":[0.2],"seeds":[3,4]}`
+	st, code := postSweep(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps returned %d", code)
+	}
+	if final := waitState(t, ts, st.ID); final.State != StateDone {
+		t.Fatalf("sweep finished as %+v", final)
+	}
+	if n := len(counter.ranConfigs()); n != 2 {
+		t.Fatalf("cold sweep ran %d configs, want 2", n)
+	}
+
+	// The one-entry cache cannot hold both sections, so the document is gone.
+	resBody, code := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusGone {
+		t.Fatalf("evicted sweep result returned %d, want 410: %s", code, resBody)
+	}
+	statusBody, code := getBody(t, ts.URL+"/v1/jobs/"+st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("evicted sweep status returned %d", code)
+	}
+	var full Status
+	if err := json.Unmarshal([]byte(statusBody), &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.State != StateDone || len(full.Results) != 0 {
+		t.Fatalf("evicted sweep status must stay done with no embedded document, got %+v", full)
+	}
+
+	// Resubmission must requeue (202, same content address), not serve the
+	// hollow job as a cache hit.
+	st2, code := postSweep(t, ts, body)
+	if code != http.StatusAccepted || st2.ID != st.ID {
+		t.Fatalf("resubmit after eviction: code %d id %s, want 202 with id %s", code, st2.ID, st.ID)
+	}
+	if final := waitState(t, ts, st2.ID); final.State != StateDone {
+		t.Fatalf("rerun finished as %+v", final)
+	}
+	if n := len(counter.ranConfigs()); n <= 2 {
+		t.Fatalf("resubmission after eviction simulated nothing (total configs run %d)", n)
+	}
+}
+
+// TestContentAddressKeyShape: content addresses are the full SHA-256
+// digest — 64 hex characters, stable, pairwise distinct across near-miss
+// specs — sweep keys live in a keyspace separate from run keys, and a
+// sweep's per-config key deliberately aliases the single-job key for the
+// same (experiment set, Scale, Seed): that alias is the cache seam.
+func TestContentAddressKeyShape(t *testing.T) {
+	isHex := func(k string) bool {
+		for _, r := range k {
+			if !strings.ContainsRune("0123456789abcdef", r) {
+				return false
+			}
+		}
+		return true
+	}
+	specs := []Spec{
+		{IDs: []string{"fig1"}, Scale: 1, Seed: 12},
+		{IDs: []string{"fig1"}, Scale: 11, Seed: 2},
+		{IDs: []string{"fig1"}, Scale: 1.1, Seed: 2},
+		{IDs: []string{"fig1", "sec5a"}, Scale: 1, Seed: 12},
+		{IDs: nil, Scale: 1, Seed: 12},
+	}
+	seen := map[string]int{}
+	for i, sp := range specs {
+		k := sp.key()
+		if len(k) != 64 || !isHex(k) {
+			t.Errorf("spec %d key %q is not a full 64-char hex digest", i, k)
+		}
+		if k != sp.key() {
+			t.Errorf("spec %d key is not stable", i)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("specs %d and %d share key %s", prev, i, k)
+		}
+		seen[k] = i
+	}
+	sweep := SweepSpec{IDs: []string{"fig1"}, Configs: []core.Config{{Scale: 1, Seed: 12}}}
+	if k := sweep.key(); len(k) != 64 || !isHex(k) {
+		t.Errorf("sweep key %q is not a full 64-char hex digest", k)
+	}
+	if sweep.key() == specs[0].key() {
+		t.Error("a one-config sweep and the equivalent run share a key; the keyspaces must be distinct")
+	}
+	if sweep.configKey(0) != specs[0].key() {
+		t.Error("sweep configKey does not alias the single-job key for the same configuration")
 	}
 }
 

@@ -464,3 +464,26 @@ func Grid(scales []float64, seeds []uint64) []Config { return core.Grid(scales, 
 func RunSweep(sw Sweep, cfg RunConfig, progress func(Progress)) (*SweepResult, error) {
 	return core.RunSweep(sw, cfg, progress)
 }
+
+// ReduceConfig re-exports the streaming sweep's per-configuration
+// callback: i is the configuration's index in the request, cr its results
+// in paper order, err the joined failure of its experiments.
+type ReduceConfig = core.ReduceConfig
+
+// RunSweepStream executes a sweep exactly as RunSweep does but hands each
+// configuration's section to onConfig the moment its last shard finishes
+// and releases the scheduler's buffers for it, so memory is proportional
+// to the configurations in flight, not the sweep size. onConfig is
+// invoked exactly once per configuration, in completion order, serialized,
+// on a scheduler worker goroutine — keep it cheap or hand off. RunSweep is
+// a collector over this entry point.
+func RunSweepStream(sw Sweep, cfg RunConfig, onConfig ReduceConfig, progress func(Progress)) error {
+	return core.RunSweepStream(sw, cfg, onConfig, progress)
+}
+
+// CanonicalExperimentIDs resolves a requested experiment-ID set to the
+// canonical form run documents carry: paper-order IDs for a proper subset
+// of the registry, nil when the request covers the full registry.
+func CanonicalExperimentIDs(ids []string) ([]string, error) {
+	return core.CanonicalIDs(ids)
+}
