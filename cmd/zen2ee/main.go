@@ -4,8 +4,8 @@
 // Usage:
 //
 //	zen2ee list                          # list all experiments
-//	zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json]
-//	zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json] [-o F]
+//	zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json] [-trace F]
+//	zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json] [-o F] [-trace F]
 //	zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
 //
 // Scale 1 gives quick, statistically meaningful runs; the paper's full
@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"zen2ee/internal/core"
+	"zen2ee/internal/obs"
 	"zen2ee/internal/report"
 )
 
@@ -70,8 +71,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   zen2ee list
-  zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json]
-  zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json] [-o F]
+  zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json] [-trace F]
+  zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json] [-o F] [-trace F]
   zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
 
 flags (accepted before or after the positional argument):
@@ -88,6 +89,10 @@ flags (accepted before or after the positional argument):
   -o F         sweep only: write the output to F via a temp file renamed
                into place on success, so an interrupted run never leaves
                a truncated document behind
+  -trace F     write a Chrome trace-event JSON of the run's execution to F
+               (one span per scheduled shard task plus scheduler lifecycle
+               spans); open it at https://ui.perfetto.dev or
+               chrome://tracing. Tracing does not change the results
   -cpuprofile F  write a CPU profile of the command to F (like go test's
                flag); inspect with 'go tool pprof F'
   -memprofile F  write a post-GC heap profile of the command to F
@@ -114,6 +119,7 @@ type experimentFlags struct {
 	csv        bool
 	jsonOut    bool
 	output     string // sweep destination file (-o); empty means stdout
+	trace      string // execution-trace destination file (-trace)
 	parallel   int    // worker count; 0 means runtime.NumCPU()
 	cpuprofile string
 	memprofile string
@@ -186,6 +192,8 @@ func parseExperimentArgs(args []string) (experimentFlags, error) {
 			}
 		case "o":
 			f.output, err = takeValue()
+		case "trace":
+			f.trace, err = takeValue()
 		case "cpuprofile":
 			f.cpuprofile, err = takeValue()
 		case "memprofile":
@@ -357,10 +365,12 @@ func run(args []string) error {
 }
 
 func runExperiments(f experimentFlags) error {
+	tr := f.newTrace()
+	runCfg := core.RunConfig{Workers: f.parallel, Trace: tr}
 	var results []*core.Result
 	var err error
 	if f.pos[0] == "all" {
-		results, err = runSuite(f)
+		results, err = core.RunIDsConfig(nil, f.opts, runCfg, printProgress)
 		if err != nil {
 			// Partial results still print below; main reports the joined
 			// error once after them (the progress stream already flagged
@@ -371,31 +381,62 @@ func runExperiments(f experimentFlags) error {
 		// Single experiments also go through the shard scheduler, so a
 		// heavy one (fig7, fig8) fans its sweep points across -parallel
 		// workers; results are identical to a serial run.
-		results, err = core.RunIDs([]string{f.pos[0]}, f.opts, f.parallel, printProgress)
+		results, err = core.RunIDsConfig([]string{f.pos[0]}, f.opts, runCfg, printProgress)
 		if err != nil {
-			return err
+			return errors.Join(err, f.commitTrace(tr))
 		}
 	}
 	if f.jsonOut {
 		// The canonical JSON document — byte-identical to what the zen2eed
 		// daemon serves for the same (experiment set, scale, seed), so CLI
 		// and daemon outputs are directly diffable.
-		if werr := report.WriteJSON(os.Stdout, results, f.opts); werr != nil {
-			return errors.Join(err, werr)
+		var marshalStart time.Time
+		if tr.Enabled() {
+			marshalStart = time.Now()
 		}
-		return err
+		werr := report.WriteJSON(os.Stdout, results, f.opts)
+		if tr.Enabled() {
+			tr.Add(obs.Span{Cat: obs.CatMarshal, Name: "marshal", Config: -1, Worker: -1,
+				Start: tr.Offset(marshalStart), Dur: time.Since(marshalStart)})
+		}
+		return errors.Join(err, werr, f.commitTrace(tr))
 	}
 	for _, r := range results {
 		if f.csv {
 			if werr := report.WriteCSV(os.Stdout, r); werr != nil {
 				// Keep the suite failures visible even if stdout breaks.
-				return errors.Join(err, werr)
+				return errors.Join(err, werr, f.commitTrace(tr))
 			}
 		} else {
 			fmt.Println(r.Table())
 		}
 	}
-	return err
+	return errors.Join(err, f.commitTrace(tr))
+}
+
+// newTrace builds the run's execution-trace recorder; nil (the disabled
+// recorder, costing the scheduler nothing) when -trace was not given.
+func (f experimentFlags) newTrace() *obs.Trace {
+	if f.trace == "" {
+		return nil
+	}
+	return obs.New(0)
+}
+
+// commitTrace writes the recorded trace to the -trace destination through
+// the same temp-file + rename path as -o. It runs even when the run itself
+// failed — a trace of a failed run is exactly when you want one — and
+// no-ops when tracing is off.
+func (f experimentFlags) commitTrace(tr *obs.Trace) error {
+	if !tr.Enabled() {
+		return nil
+	}
+	out, commit, err := openOutput(f.trace)
+	if err != nil {
+		return err
+	}
+	spans, dropped := tr.Snapshot()
+	return commit(report.WriteChromeTrace(out, spans, dropped))
 }
 
 // sweep runs the -scales × -seeds configuration grid over the named
@@ -425,10 +466,14 @@ func sweep(args []string) error {
 		if err != nil {
 			return err
 		}
+		tr := f.newTrace()
+		runCfg := core.RunConfig{Workers: f.parallel, Trace: tr}
 		if f.jsonOut {
-			return commit(streamSweepJSON(out, sw, f.parallel))
+			err = commit(streamSweepJSON(out, sw, runCfg))
+		} else {
+			err = commit(streamSweepTables(out, sw, runCfg))
 		}
-		return commit(streamSweepTables(out, sw, f.parallel))
+		return errors.Join(err, f.commitTrace(tr))
 	})
 }
 
@@ -473,7 +518,7 @@ func openOutput(path string) (io.Writer, func(error) error, error) {
 // out-of-completion-order sections internally, so the document is in
 // request order without the CLI ever holding more than the in-flight
 // window.
-func streamSweepJSON(w io.Writer, sw core.Sweep, parallel int) error {
+func streamSweepJSON(w io.Writer, sw core.Sweep, cfg core.RunConfig) error {
 	// Validate before the writer emits the document header, so bad requests
 	// fail without partial output.
 	ids, err := core.CanonicalIDs(sw.IDs)
@@ -487,12 +532,21 @@ func streamSweepJSON(w io.Writer, sw core.Sweep, parallel int) error {
 	if err != nil {
 		return err
 	}
+	tr := cfg.Trace
 	var cbErr error
-	err = core.RunSweepStream(sw, core.RunConfig{Workers: parallel}, func(i int, cr core.ConfigResult, cfgErr error) {
+	err = core.RunSweepStream(sw, cfg, func(i int, cr core.ConfigResult, cfgErr error) {
 		if cfgErr != nil || cbErr != nil {
 			return // the config's failure is joined into the returned error
 		}
+		var marshalStart time.Time
+		if tr.Enabled() {
+			marshalStart = time.Now()
+		}
 		doc, merr := report.MarshalResults(cr.Results, cr.Config)
+		if tr.Enabled() {
+			tr.Add(obs.Span{Cat: obs.CatMarshal, Name: "marshal", Config: i, Worker: -1,
+				Start: tr.Offset(marshalStart), Dur: time.Since(marshalStart)})
+		}
 		if merr != nil {
 			cbErr = merr
 			return
@@ -517,10 +571,10 @@ func streamSweepJSON(w io.Writer, sw core.Sweep, parallel int) error {
 // small pending map (bounded by the scheduler's in-flight window). On a
 // failed configuration the stream stops at its index: tables after a gap
 // would read as a complete study.
-func streamSweepTables(w io.Writer, sw core.Sweep, parallel int) error {
+func streamSweepTables(w io.Writer, sw core.Sweep, cfg core.RunConfig) error {
 	next := 0
 	pending := make(map[int]core.ConfigResult)
-	return core.RunSweepStream(sw, core.RunConfig{Workers: parallel}, func(i int, cr core.ConfigResult, cfgErr error) {
+	return core.RunSweepStream(sw, cfg, func(i int, cr core.ConfigResult, cfgErr error) {
 		if cfgErr != nil {
 			return // joined into the returned error; the section stays unprinted
 		}
@@ -547,6 +601,9 @@ func genExperiments(args []string) error {
 	}
 	if err := rejectSweepAxes("gen-experiments", f); err != nil {
 		return err
+	}
+	if f.trace != "" {
+		return fmt.Errorf("-trace is a run/sweep flag; gen-experiments does not execute a traced schedule")
 	}
 	if len(f.pos) != 0 {
 		return fmt.Errorf("gen-experiments takes no positional arguments")

@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
 	"zen2ee/internal/core"
+	"zen2ee/internal/obs"
 	"zen2ee/internal/report"
 )
 
@@ -45,6 +47,8 @@ func TestParseExperimentArgs(t *testing.T) {
 			experimentFlags{opts: opts(1, 1), cpuprofile: "cpu.out", memprofile: "mem.out", pos: []string{"fig7"}}},
 		{"output file", []string{"-o", "out.json", "-json", "fig1"},
 			experimentFlags{opts: opts(1, 1), jsonOut: true, output: "out.json", pos: []string{"fig1"}}},
+		{"trace file", []string{"fig1", "-trace", "trace.json"},
+			experimentFlags{opts: opts(1, 1), trace: "trace.json", pos: []string{"fig1"}}},
 	}
 	for _, c := range cases {
 		got, err := parseExperimentArgs(c.args)
@@ -98,6 +102,7 @@ func TestSweepCommandGuards(t *testing.T) {
 		"run -o":                 func() error { return run([]string{"-o", "out.json", "fig1"}) },
 		"gen-experiments -seeds": func() error { return genExperiments([]string{"-seeds", "1..2"}) },
 		"gen-experiments -o":     func() error { return genExperiments([]string{"-o", "out.json"}) },
+		"gen-experiments -trace": func() error { return genExperiments([]string{"-trace", "t.json"}) },
 		"sweep duplicate ids":    func() error { return sweep([]string{"fig1", "fig1"}) },
 	} {
 		if err := call(); err == nil {
@@ -155,5 +160,60 @@ func TestSweepOutputFileAtomic(t *testing.T) {
 			names[i] = e.Name()
 		}
 		t.Errorf("output directory holds %v, want only sweep.json (no temp debris)", names)
+	}
+}
+
+// TestSweepTraceFile: `sweep -trace F` commits a Chrome trace-event
+// document that round-trips through the decoder, holds exactly one shard
+// task per (config, experiment, shard), and attributes shard work to
+// worker threads inside the configured pool.
+func TestSweepTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sweep.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	const workers = 2
+	err := sweep([]string{"fig1", "-scales", "0.2", "-seeds", "1,2",
+		"-parallel", "2", "-json", "-o", out, "-trace", tracePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := report.UnmarshalTrace(raw)
+	if err != nil {
+		t.Fatalf("trace file does not round-trip through the decoder: %v", err)
+	}
+
+	shardTasks := map[string]int{}
+	configs := map[float64]bool{}
+	for _, e := range doc.CompleteEvents() {
+		if e.TS < 0 || e.Dur < 0 {
+			t.Fatalf("event %q has negative timing: ts=%v dur=%v", e.Name, e.TS, e.Dur)
+		}
+		if e.Cat != obs.CatShard {
+			continue
+		}
+		if e.TID < 1 || e.TID > workers {
+			t.Errorf("shard event %q on tid %d, want a worker thread in [1,%d]", e.Name, e.TID, workers)
+		}
+		cfg, ok := e.Args["config"].(float64)
+		if !ok {
+			t.Fatalf("shard event %q has no numeric config arg: %v", e.Name, e.Args)
+		}
+		configs[cfg] = true
+		shardTasks[fmt.Sprintf("%v/%s", cfg, e.Name)]++
+	}
+	if len(configs) != 2 {
+		t.Errorf("shard events span %d configs, want 2 (one per seed)", len(configs))
+	}
+	for key, n := range shardTasks {
+		if n != 1 {
+			t.Errorf("shard task %s recorded %d times, want exactly once", key, n)
+		}
+	}
+	if len(shardTasks) == 0 {
+		t.Fatal("trace holds no shard tasks")
 	}
 }

@@ -6,7 +6,16 @@
 // single jobs use.
 //
 // Usage: zen2eed [-addr :8080] [-executors N] [-queue N] [-cache N]
-// [-cache-bytes N] [-sse-keepalive D] [-pprof]
+// [-cache-bytes N] [-sse-keepalive D] [-log-format text|json] [-log-level L]
+// [-trace-bytes N] [-pprof]
+//
+// The daemon logs structured events via log/slog: one access line per
+// request and job lifecycle events (queued/started/done/failed) carrying a
+// short job correlation ID. -log-format picks text or JSON encoding;
+// -log-level sets the threshold (debug adds per-experiment and per-config
+// completion events). Every executed job also records a Chrome trace-event
+// document served at /v1/jobs/{id}/trace; -trace-bytes bounds the per-job
+// span buffer (-1 disables tracing).
 //
 //	curl -d '{"ids":["fig3"],"scale":1,"seed":1}' localhost:8080/v1/jobs
 //	curl -d '{"ids":["fig7"],"scales":[1,2],"seeds":[1,2,3]}' localhost:8080/v1/sweeps
@@ -27,10 +36,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,9 +50,29 @@ import (
 
 // options is the parsed command line.
 type options struct {
-	addr  string
-	pprof bool
-	cfg   service.Config
+	addr      string
+	pprof     bool
+	logFormat string
+	logLevel  string
+	cfg       service.Config
+}
+
+// buildLogger resolves the -log-format/-log-level pair into the daemon's
+// slog.Logger, writing to w.
+func (o options) buildLogger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(o.logLevel)); err != nil {
+		return nil, fmt.Errorf("-log-level: %q is not a slog level (debug, info, warn, error)", o.logLevel)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(o.logFormat) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format: %q is not text or json", o.logFormat)
+	}
 }
 
 // parseFlags is main's flag handling, separated for testing.
@@ -59,11 +90,20 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 		"idle interval between SSE comment frames on progress streams (keeps proxies from dropping long sweeps)")
 	fs.BoolVar(&o.pprof, "pprof", false,
 		"expose net/http/pprof handlers under /debug/pprof/ for in-situ profiling")
+	fs.StringVar(&o.logFormat, "log-format", "text",
+		"structured log encoding: text or json")
+	fs.StringVar(&o.logLevel, "log-level", "info",
+		"log threshold: debug, info, warn, or error (debug adds per-experiment and per-config completion events)")
+	fs.Int64Var(&o.cfg.TraceBytes, "trace-bytes", 0,
+		"per-job execution-trace span buffer bound in bytes (0 = the 1 MiB default, negative disables per-job tracing)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
 	if fs.NArg() != 0 {
 		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if _, err := o.buildLogger(io.Discard); err != nil {
+		return o, err
 	}
 	if o.cfg.Executors < 1 || o.cfg.QueueDepth < 1 || o.cfg.CacheEntries < 1 {
 		return o, fmt.Errorf("-executors, -queue and -cache must be >= 1")
@@ -104,6 +144,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "zen2eed:", err)
 		os.Exit(2)
 	}
+
+	logger, err := o.buildLogger(os.Stderr)
+	if err != nil {
+		// Unreachable after parseFlags validated the pair; keep the guard in
+		// case the two drift.
+		fmt.Fprintln(os.Stderr, "zen2eed:", err)
+		os.Exit(2)
+	}
+	o.cfg.Logger = logger
 
 	svc := service.New(o.cfg)
 	defer svc.Close()

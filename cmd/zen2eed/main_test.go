@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
@@ -21,6 +24,45 @@ func TestParseFlags(t *testing.T) {
 	}
 	if o.addr != ":8080" || o.cfg.Executors != 2 || o.cfg.SSEKeepAlive != 15*time.Second || o.pprof {
 		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if o.logFormat != "text" || o.logLevel != "info" || o.cfg.TraceBytes != 0 {
+		t.Fatalf("observability defaults wrong: %+v", o)
+	}
+	if o, err = parseFlags([]string{"-log-format", "json", "-log-level", "debug", "-trace-bytes", "-1"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if o.logFormat != "json" || o.logLevel != "debug" || o.cfg.TraceBytes != -1 {
+		t.Fatalf("observability flags wrong: %+v", o)
+	}
+}
+
+// TestBuildLogger: the -log-format/-log-level pair resolves to handlers
+// with the right encoding and threshold.
+func TestBuildLogger(t *testing.T) {
+	var buf bytes.Buffer
+	o := options{logFormat: "json", logLevel: "warn"}
+	log, err := o.buildLogger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("below threshold")
+	log.Warn("kept")
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("json handler output is not one JSON line: %q", buf.String())
+	}
+	if line["msg"] != "kept" || line["level"] != "WARN" {
+		t.Fatalf("logged %v, want the warn record only", line)
+	}
+
+	buf.Reset()
+	o = options{logFormat: "TEXT", logLevel: "INFO"} // case-insensitive
+	if log, err = o.buildLogger(&buf); err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello")
+	if !strings.Contains(buf.String(), "msg=hello") {
+		t.Fatalf("text handler output %q lacks logfmt msg", buf.String())
 	}
 }
 
@@ -54,6 +96,8 @@ func TestParseFlagsErrors(t *testing.T) {
 		{"-queue", "-5"},
 		{"-cache", "0"},
 		{"-sse-keepalive", "50ms"},
+		{"-log-format", "xml"},
+		{"-log-level", "loud"},
 	} {
 		if _, err := parseFlags(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted, want error", args)

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zen2ee/internal/obs"
 	"zen2ee/internal/sim"
 )
 
@@ -89,6 +90,18 @@ type RunConfig struct {
 	// this to share one executor pool across all concurrently running jobs
 	// while letting a lone job's shards spread over the whole pool.
 	Acquire func() (release func())
+	// Trace, when non-nil, records an obs.Span per executed (configuration,
+	// experiment, shard) task — enqueue→start queue wait, execution window,
+	// worker attribution, outcome — plus scheduler lifecycle spans (plan,
+	// per-experiment reduce, per-configuration deliver). Nil (the default)
+	// is the fast path: the scheduler takes no extra timestamps and
+	// allocates nothing for tracing.
+	Trace *obs.Trace
+	// ObserveShard, when non-nil, receives every shard's queue wait (task
+	// enqueue to execution start, slot acquisition included) and run time.
+	// The daemon feeds its latency histograms through it; unlike Trace it
+	// retains nothing, so it stays on for every job.
+	ObserveShard func(wait, run time.Duration)
 }
 
 // RunAllParallel executes every registered experiment across a pool of
@@ -184,9 +197,12 @@ func RunOne(id string, o Options) (*Result, error) {
 }
 
 // task addresses one shard of one scheduled (configuration, experiment)
-// pair.
+// pair. enqueueNS is the task's submission instant (unix nanoseconds),
+// stamped only when the run is observed (Trace or ObserveShard); 0 means
+// unobserved — the fast path carries no timestamps.
 type task struct {
 	config, exp, shard int
+	enqueueNS          int64
 }
 
 // expRun tracks one (configuration, experiment) pair through the shard
@@ -284,6 +300,11 @@ func runSet(exps []Experiment, o Options, cfg RunConfig, progress func(Progress)
 // configs[i] is identical to what runSet(exps, configs[i], ...) computes —
 // batching changes scheduling, never results.
 func runSweep(exps []Experiment, configs []Config, cfg RunConfig, onConfig ReduceConfig, progress func(Progress)) error {
+	tr := cfg.Trace
+	var planStart time.Time
+	if tr.Enabled() {
+		planStart = time.Now()
+	}
 	// Plan phase: resolve every (configuration, experiment) pair to its
 	// shards up front, so the task channel and the event buffer can be
 	// sized exactly and task submission never blocks a worker.
@@ -315,7 +336,24 @@ func runSweep(exps []Experiment, configs []Config, cfg RunConfig, onConfig Reduc
 		runs[ci] = nil
 		onMu.Lock()
 		defer onMu.Unlock()
+		// The deliver span covers the consumer callback (a streaming
+		// caller's marshal-and-cache work); it is timed inside onMu so
+		// deliver spans never overlap on the scheduler track.
+		var deliverStart time.Time
+		if tr.Enabled() {
+			deliverStart = time.Now()
+		}
 		onConfig(ci, ConfigResult{Config: configs[ci], Results: out}, cfgErrs[ci])
+		if tr.Enabled() {
+			sp := obs.Span{
+				Cat: obs.CatDeliver, Name: "deliver", Config: ci, Worker: -1,
+				Start: tr.Offset(deliverStart), Dur: time.Since(deliverStart),
+			}
+			if cfgErrs[ci] != nil {
+				sp.Err = cfgErrs[ci].Error()
+			}
+			tr.Add(sp)
+		}
 	}
 	for ci, o := range configs {
 		runs[ci] = make([]*expRun, len(exps))
@@ -336,6 +374,12 @@ func runSweep(exps []Experiment, configs []Config, cfg RunConfig, onConfig Reduc
 			}
 			runs[ci][i] = er
 		}
+	}
+	if tr.Enabled() {
+		tr.Add(obs.Span{
+			Cat: obs.CatPlan, Name: "plan", Config: -1, Worker: -1,
+			Start: tr.Offset(planStart), Dur: time.Since(planStart),
+		})
 	}
 
 	// Progress decoupling (see RunAllParallelProgress): workers send into a
@@ -383,10 +427,17 @@ func runSweep(exps []Experiment, configs []Config, cfg RunConfig, onConfig Reduc
 	}
 
 	tasks := make(chan task, total)
+	// One stamp covers the whole fill: every task is enqueued before any
+	// worker starts, so per-task precision would measure the fill loop,
+	// not the queue.
+	var enqueueNS int64
+	if tr.Enabled() || cfg.ObserveShard != nil {
+		enqueueNS = time.Now().UnixNano()
+	}
 	for ci, ers := range runs {
 		for i, er := range ers {
 			for s := range er.shards {
-				tasks <- task{config: ci, exp: i, shard: s}
+				tasks <- task{config: ci, exp: i, shard: s, enqueueNS: enqueueNS}
 			}
 		}
 	}
@@ -402,7 +453,7 @@ func runSweep(exps []Experiment, configs []Config, cfg RunConfig, onConfig Reduc
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for t := range tasks {
 				er := runs[t.config][t.exp]
@@ -415,6 +466,27 @@ func runSweep(exps []Experiment, configs []Config, cfg RunConfig, onConfig Reduc
 				out, err := runShardGuarded(er.shards[t.shard], er.shardOptions(t.shard))
 				release()
 				elapsed := time.Since(start)
+				if t.enqueueNS != 0 {
+					// Observed run: queue wait is enqueue→start, which
+					// includes blocking on the Acquire slot gate — exactly
+					// the time the shard spent schedulable but not running.
+					wait := start.Sub(time.Unix(0, t.enqueueNS))
+					if cfg.ObserveShard != nil {
+						cfg.ObserveShard(wait, elapsed)
+					}
+					if tr.Enabled() {
+						sp := obs.Span{
+							Cat: obs.CatShard, Name: er.exp.ID,
+							Config: t.config, Shard: t.shard + 1,
+							Label: er.shards[t.shard].Label, Worker: worker,
+							Start: tr.Offset(start), Dur: elapsed, Wait: wait,
+						}
+						if err != nil {
+							sp.Err = err.Error()
+						}
+						tr.Add(sp)
+					}
+				}
 				if err != nil {
 					er.errs[t.shard] = fmt.Errorf("shard %d/%d (%s): %w",
 						t.shard+1, len(er.shards), er.shards[t.shard].Label, err)
@@ -431,7 +503,22 @@ func runSweep(exps []Experiment, configs []Config, cfg RunConfig, onConfig Reduc
 				}
 				if er.remaining.Add(-1) == 0 {
 					shards := len(er.shards)
+					var reduceStart time.Time
+					if tr.Enabled() {
+						reduceStart = time.Now()
+					}
 					er.finalize()
+					if tr.Enabled() {
+						sp := obs.Span{
+							Cat: obs.CatReduce, Name: er.exp.ID,
+							Config: t.config, Worker: worker,
+							Start: tr.Offset(reduceStart), Dur: time.Since(reduceStart),
+						}
+						if er.err != nil {
+							sp.Err = er.err.Error()
+						}
+						tr.Add(sp)
+					}
 					emit(Progress{
 						ID: er.exp.ID, Index: t.exp, Config: t.config,
 						Shards:  shards,
@@ -442,7 +529,7 @@ func runSweep(exps []Experiment, configs []Config, cfg RunConfig, onConfig Reduc
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

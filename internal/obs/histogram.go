@@ -1,0 +1,88 @@
+// Fixed-bucket latency histograms for the daemon's /metrics exposition.
+// Prometheus-shaped (cumulative buckets, sum, count) but hand-rolled like
+// the rest of the metrics layer: the repo is stdlib-only by policy, and
+// fixed buckets with a deterministic order are what keep scrapes diffable
+// run over run — the bucket layout is part of the exposition contract, not
+// a runtime choice.
+
+package obs
+
+import "sync"
+
+// DefaultLatencyBuckets are the upper bounds (seconds) of the pipeline's
+// latency histograms: roughly logarithmic from 1 ms to 10 s, covering
+// everything from a sub-millisecond cached shard to a full-protocol
+// experiment. The +Inf bucket is implicit.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// Histogram is a fixed-bucket distribution accumulator, safe for
+// concurrent observation.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	counts []uint64  // len(bounds)+1 per-bucket (non-cumulative) counts
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (DefaultLatencyBuckets when empty). Non-ascending bounds are a
+// programming error and panic at construction, not at observation.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value (seconds).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, in the
+// cumulative form the Prometheus exposition wants: Cumulative[i] counts
+// observations <= Bounds[i], and the final element (the +Inf bucket)
+// equals Count.
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []uint64 // len(Bounds)+1; last element == Count
+	Sum        float64
+	Count      uint64
+}
+
+// Snapshot returns a consistent copy of the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]uint64, len(h.counts)),
+		Sum:        h.sum,
+		Count:      h.count,
+	}
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		snap.Cumulative[i] = run
+	}
+	return snap
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 3} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 6 {
+		t.Fatalf("count %d, want 6", snap.Count)
+	}
+	// Bucket semantics are le (inclusive upper bound), cumulative:
+	// le=0.01 → {0.005, 0.01}; le=0.1 → +{0.05}; le=1 → +{0.5}; +Inf → all.
+	want := []uint64{2, 3, 4, 6}
+	for i, w := range want {
+		if snap.Cumulative[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, snap.Cumulative[i], w, snap.Cumulative)
+		}
+	}
+	if snap.Cumulative[len(snap.Cumulative)-1] != snap.Count {
+		t.Fatal("+Inf bucket does not equal count")
+	}
+	wantSum := 0.005 + 0.01 + 0.05 + 0.5 + 2 + 3
+	if diff := snap.Sum - wantSum; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("sum %g, want %g", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := NewHistogram(nil)
+	snap := h.Snapshot()
+	def := DefaultLatencyBuckets()
+	if len(snap.Bounds) != len(def) {
+		t.Fatalf("default bounds %v", snap.Bounds)
+	}
+	for i := 1; i < len(snap.Bounds); i++ {
+		if snap.Bounds[i] <= snap.Bounds[i-1] {
+			t.Fatalf("default bounds not ascending: %v", snap.Bounds)
+		}
+	}
+	if len(snap.Cumulative) != len(def)+1 {
+		t.Fatalf("cumulative length %d, want %d", len(snap.Cumulative), len(def)+1)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds accepted")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+// TestHistogramConcurrentObserve is the -race exercise for the metrics
+// path: scheduler workers observe while a scrape snapshots.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			snap := h.Snapshot()
+			if snap.Cumulative[len(snap.Cumulative)-1] != snap.Count {
+				t.Error("snapshot internally inconsistent")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if snap := h.Snapshot(); snap.Count != workers*perWorker {
+		t.Fatalf("count %d, want %d", snap.Count, workers*perWorker)
+	}
+}

@@ -138,6 +138,14 @@ type job struct {
 	payload  []byte // canonical result JSON once done
 	errMsg   string
 	cached   bool // payload came from the cache, no simulation ran
+	// trace is the Chrome trace-event document of the job's execution,
+	// serialized before the terminal state flip; empty for cached jobs and
+	// when daemon tracing is disabled.
+	trace []byte
+	// runDur and marshalDur split the job's wall time for the latency
+	// breakdown: scheduler execution vs. document encoding. Queue wait is
+	// derived from created/started.
+	runDur, marshalDur time.Duration
 	// cachedConfigs marks, for sweep jobs, which configurations were
 	// served from the per-config cache instead of running.
 	cachedConfigs []bool
@@ -223,6 +231,37 @@ func (j *job) subscribe() (history []event, ch chan event, cancel func()) {
 	}
 }
 
+// setLatency records the execution/encoding wall-time split.
+func (j *job) setLatency(run, marshal time.Duration) {
+	j.mu.Lock()
+	j.runDur, j.marshalDur = run, marshal
+	j.mu.Unlock()
+}
+
+// setTrace stores the serialized execution trace.
+func (j *job) setTrace(doc []byte) {
+	j.mu.Lock()
+	j.trace = doc
+	j.mu.Unlock()
+}
+
+// traceDoc returns the serialized trace (nil if none) and current state.
+func (j *job) traceDoc() ([]byte, State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace, j.state
+}
+
+// Latency is a finished job's wall-time breakdown: time queued before an
+// executor picked the job up (slot waits inside the run are per-shard, see
+// the queue-wait histogram), time executing in the scheduler, and time
+// encoding the canonical document.
+type Latency struct {
+	QueueSeconds   float64 `json:"queue_seconds"`
+	RunSeconds     float64 `json:"run_seconds"`
+	MarshalSeconds float64 `json:"marshal_seconds"`
+}
+
 // Status is the wire form of a job's state, served by GET /v1/jobs/{id}
 // and listed by GET /v1/jobs.
 type Status struct {
@@ -243,7 +282,11 @@ type Status struct {
 	StartedAt      string  `json:"started_at,omitempty"`
 	FinishedAt     string  `json:"finished_at,omitempty"`
 	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
-	Error          string  `json:"error,omitempty"`
+	// Latency breaks a finished job's wall time into queue wait, scheduler
+	// execution, and document encoding; omitted for cached jobs, which
+	// never ran.
+	Latency *Latency `json:"latency,omitempty"`
+	Error   string   `json:"error,omitempty"`
 	// Results embeds the canonical document once done: report.JSONReport
 	// for run jobs, report.JSONSweep for sweep jobs.
 	Results json.RawMessage `json:"results,omitempty"`
@@ -273,6 +316,13 @@ func (j *job) status(includeResults bool) Status {
 		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
 		if !j.started.IsZero() {
 			st.ElapsedSeconds = j.finished.Sub(j.started).Seconds()
+		}
+		if !j.cached && !j.started.IsZero() {
+			st.Latency = &Latency{
+				QueueSeconds:   j.started.Sub(j.created).Seconds(),
+				RunSeconds:     j.runDur.Seconds(),
+				MarshalSeconds: j.marshalDur.Seconds(),
+			}
 		}
 	}
 	if includeResults && j.state == StateDone {

@@ -1,0 +1,109 @@
+// HTTP middleware: structured access logs and panic recovery, both on
+// log/slog. The daemon's log stream is the third observability export next
+// to /metrics and per-job traces — every request logs one line with method,
+// path, status, size, and duration, and job lifecycle events carry the
+// job's short content address so a reader can join access lines, lifecycle
+// lines, and trace files on one correlation ID.
+
+package service
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter records the response status and size for the access log. It
+// implements http.Flusher unconditionally, delegating when the underlying
+// writer supports it — the SSE handler's flusher assertion must keep
+// working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// accessLog wraps a handler with one structured log line per request.
+// Probe endpoints (/healthz, /metrics) log at Debug so scrape traffic does
+// not drown the stream at the default level.
+func accessLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			level := slog.LevelInfo
+			if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+				level = slog.LevelDebug
+			}
+			log.Log(r.Context(), level, "request",
+				"method", r.Method, "path", r.URL.Path, "status", status,
+				"bytes", sw.bytes, "elapsed", time.Since(start))
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// recoverPanics converts a handler panic into a logged 500 instead of a
+// dead connection (and, under net/http, a one-line unstructured stack on
+// stderr). http.ErrAbortHandler re-panics: it is the sanctioned way to
+// abort a response and must keep reaching the server loop. The access-log
+// wrapper installs the *statusWriter this recovery checks before writing
+// the error body — headers may already be gone mid-stream.
+func recoverPanics(log *slog.Logger, m *metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			m.add(&m.panics, 1)
+			log.Error("handler panic",
+				"method", r.Method, "path", r.URL.Path,
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+			if sw, ok := w.(*statusWriter); !ok || sw.status == 0 {
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shortID abbreviates a job's content address for log correlation; the
+// full 64-hex address is unambiguous but unreadable in a log line.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

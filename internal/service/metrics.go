@@ -1,8 +1,11 @@
 // Daemon observability in Prometheus text exposition format, hand-rolled on
 // the stdlib: counters for the job lifecycle and the cache, gauges for live
-// queue state, and a per-experiment latency sum/count pair from which
-// scrapers derive mean experiment wall time. No client library — the format
-// is a few lines of text and the repo is stdlib-only by policy.
+// queue state, and fixed-bucket latency histograms — shard execution time,
+// shard queue wait, and per-experiment wall time — from which scrapers
+// derive tail latency, not just means. No client library — the format is a
+// few lines of text and the repo is stdlib-only by policy. Bucket layouts
+// and label orders are fixed, so two scrapes of the same daemon state are
+// byte-identical (pinned by the golden scrape test).
 
 package service
 
@@ -13,16 +16,13 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"zen2ee/internal/obs"
 )
 
-// latency accumulates a Prometheus summary-style sum/count pair.
-type latency struct {
-	sum   float64 // seconds
-	count uint64
-}
-
-// metrics is the daemon's counter set. All fields are guarded by mu; the
-// handlers and executors update them through the helper methods.
+// metrics is the daemon's counter set. The scalar fields are guarded by mu;
+// the histograms carry their own locks so the scheduler's ObserveShard hook
+// never contends with scrape-time map iteration.
 type metrics struct {
 	mu sync.Mutex
 
@@ -35,16 +35,27 @@ type metrics struct {
 	cacheMisses  uint64
 	badRequests  uint64
 	queueRejects uint64 // bounded queue was full
+	panics       uint64 // handler panics recovered by the middleware
 
 	sweepsQueued       uint64 // sweep jobs accepted onto the queue
 	sweepConfigsRun    uint64 // sweep configurations that simulated
 	sweepConfigsCached uint64 // sweep configurations served from the cache
 
-	experiments map[string]*latency
+	// shardRun and shardWait observe every shard task the daemon executes,
+	// fed by the scheduler's ObserveShard hook: execution wall time and
+	// queue wait (enqueue to execution start, slot acquisition included).
+	shardRun  *obs.Histogram
+	shardWait *obs.Histogram
+
+	experiments map[string]*obs.Histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{experiments: map[string]*latency{}}
+	return &metrics{
+		shardRun:    obs.NewHistogram(nil),
+		shardWait:   obs.NewHistogram(nil),
+		experiments: map[string]*obs.Histogram{},
+	}
 }
 
 func (m *metrics) add(field *uint64, delta uint64) {
@@ -59,17 +70,23 @@ func (m *metrics) addRunning(delta int) {
 	m.mu.Unlock()
 }
 
+// observeShard records one shard task's queue wait and execution time; it
+// is the core.RunConfig.ObserveShard hook for every job the daemon runs.
+func (m *metrics) observeShard(wait, run time.Duration) {
+	m.shardWait.Observe(wait.Seconds())
+	m.shardRun.Observe(run.Seconds())
+}
+
 // observeExperiment records one experiment completion inside a job.
 func (m *metrics) observeExperiment(id string, d time.Duration) {
 	m.mu.Lock()
-	l := m.experiments[id]
-	if l == nil {
-		l = &latency{}
-		m.experiments[id] = l
+	h := m.experiments[id]
+	if h == nil {
+		h = obs.NewHistogram(nil)
+		m.experiments[id] = h
 	}
-	l.sum += d.Seconds()
-	l.count++
 	m.mu.Unlock()
+	h.Observe(d.Seconds())
 }
 
 // gauges carries point-in-time values owned by other components, sampled at
@@ -81,8 +98,28 @@ type gauges struct {
 	cacheBytes, cacheBytesCap int64
 }
 
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeHistogram renders one histogram series in exposition form:
+// cumulative _bucket lines with ascending le labels (then +Inf), _sum, and
+// _count. labels holds pre-rendered `name="value",` pairs (trailing comma
+// included) spliced before the le label.
+func writeHistogram(w io.Writer, name, labels string, snap obs.HistogramSnapshot) {
+	for i, b := range snap.Bounds {
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, formatFloat(b), snap.Cumulative[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, snap.Count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(snap.Sum), name, snap.Count)
+		return
+	}
+	trimmed := labels[:len(labels)-1] // drop the trailing comma
+	fmt.Fprintf(w, "%s_sum{%s} %s\n%s_count{%s} %d\n",
+		name, trimmed, formatFloat(snap.Sum), name, trimmed, snap.Count)
+}
+
 // write renders the exposition document. Label sets are emitted in sorted
-// order so scrapes are diffable.
+// order and bucket layouts are fixed, so scrapes are diffable.
 func (m *metrics) write(w io.Writer, g gauges) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -91,8 +128,10 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name,
-			strconv.FormatFloat(v, 'g', -1, 64))
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+	histogram := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	}
 
 	counter("zen2eed_jobs_queued_total", "Jobs accepted onto the run queue.", m.jobsQueued)
@@ -103,6 +142,7 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	counter("zen2eed_cache_misses_total", "Requests that required a new simulation run.", m.cacheMisses)
 	counter("zen2eed_bad_requests_total", "Rejected malformed or invalid job requests.", m.badRequests)
 	counter("zen2eed_queue_rejections_total", "Jobs rejected because the bounded queue was full.", m.queueRejects)
+	counter("zen2eed_handler_panics_total", "HTTP handler panics recovered by the middleware.", m.panics)
 	counter("zen2eed_sweeps_queued_total", "Sweep jobs accepted onto the run queue.", m.sweepsQueued)
 	counter("zen2eed_sweep_configs_run_total", "Sweep configurations that required a simulation run.", m.sweepConfigsRun)
 	counter("zen2eed_sweep_configs_cached_total", "Sweep configurations served from the per-config result cache.", m.sweepConfigsCached)
@@ -114,19 +154,21 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	gauge("zen2eed_cache_bytes", "Summed payload size of cached result entries.", float64(g.cacheBytes))
 	gauge("zen2eed_cache_capacity_bytes", "Result cache byte bound (0 = unbounded).", float64(g.cacheBytesCap))
 
+	histogram("zen2eed_shard_run_seconds", "Execution wall time of individual shard tasks.")
+	writeHistogram(w, "zen2eed_shard_run_seconds", "", m.shardRun.Snapshot())
+	histogram("zen2eed_shard_queue_wait_seconds", "Shard task queue wait: enqueue to execution start, executor-slot acquisition included.")
+	writeHistogram(w, "zen2eed_shard_queue_wait_seconds", "", m.shardWait.Snapshot())
+
 	ids := make([]string, 0, len(m.experiments))
 	for id := range m.experiments {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	if len(ids) > 0 {
-		fmt.Fprintf(w, "# HELP zen2eed_experiment_latency_seconds Wall time of individual experiments inside jobs.\n")
-		fmt.Fprintf(w, "# TYPE zen2eed_experiment_latency_seconds summary\n")
+		histogram("zen2eed_experiment_latency_seconds", "Wall time of individual experiments inside jobs.")
 	}
 	for _, id := range ids {
-		l := m.experiments[id]
-		fmt.Fprintf(w, "zen2eed_experiment_latency_seconds_sum{experiment=%q} %s\n",
-			id, strconv.FormatFloat(l.sum, 'g', -1, 64))
-		fmt.Fprintf(w, "zen2eed_experiment_latency_seconds_count{experiment=%q} %d\n", id, l.count)
+		writeHistogram(w, "zen2eed_experiment_latency_seconds",
+			fmt.Sprintf("experiment=%q,", id), m.experiments[id].Snapshot())
 	}
 }

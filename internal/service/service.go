@@ -26,19 +26,24 @@
 //	GET  /v1/jobs/{id}/result   the canonical result JSON document (bytes
 //	                            are identical across repeated requests)
 //	GET  /v1/jobs/{id}/events   live SSE stream of core.Progress events
+//	GET  /v1/jobs/{id}/trace    Chrome trace-event JSON of the job's
+//	                            execution (Perfetto-loadable)
 //	GET  /v1/experiments        the experiment registry
 //	GET  /metrics               Prometheus text format
 //	GET  /healthz               liveness probe
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"zen2ee/internal/core"
+	"zen2ee/internal/obs"
 	"zen2ee/internal/report"
 )
 
@@ -84,6 +89,17 @@ type Config struct {
 	// an SSE comment frame (": ping") so proxies do not drop long-running
 	// sweep connections (default 15s).
 	SSEKeepAlive time.Duration
+	// Logger receives the daemon's structured logs: one access line per
+	// request, job lifecycle events keyed by short job address, recovered
+	// handler panics. Nil discards everything (the handler work is skipped,
+	// not formatted and thrown away).
+	Logger *slog.Logger
+	// TraceBytes bounds each job's execution-trace span buffer (default
+	// obs.DefaultLimitBytes, 1 MiB); spans past the budget are counted as
+	// dropped. Negative disables per-job tracing entirely. Total trace
+	// retention is bounded by JobHistory × TraceBytes, since traces are
+	// evicted with their jobs.
+	TraceBytes int64
 	// Runner overrides the experiment runner (tests); nil means core.RunIDs.
 	Runner Runner
 	// SweepRunner overrides the sweep runner (tests); nil means
@@ -107,6 +123,12 @@ func (c Config) withDefaults() Config {
 	if c.SSEKeepAlive <= 0 {
 		c.SSEKeepAlive = 15 * time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.TraceBytes == 0 {
+		c.TraceBytes = obs.DefaultLimitBytes
+	}
 	if c.Runner == nil {
 		c.Runner = core.RunIDsConfig
 	}
@@ -119,8 +141,12 @@ func (c Config) withDefaults() Config {
 // Server is the daemon. It implements http.Handler; create it with New and
 // stop its executors with Close.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
+	cfg Config
+	mux *http.ServeMux
+	// handler is mux wrapped in the logging and panic-recovery middleware;
+	// ServeHTTP dispatches through it.
+	handler http.Handler
+	log     *slog.Logger
 	queue   chan *job
 	cache   *resultCache
 	metrics *metrics
@@ -149,6 +175,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
+		log:     cfg.Logger,
 		queue:   make(chan *job, cfg.QueueDepth),
 		cache:   newResultCache(cfg.CacheEntries, cfg.CacheBytes),
 		metrics: newMetrics(),
@@ -163,6 +190,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -170,6 +198,7 @@ func New(cfg Config) *Server {
 	// the shard scheduler, whose workers borrow slots from s.slots — so up
 	// to Executors jobs are in flight, and their shards (not the jobs
 	// themselves) share the Executors-wide concurrency budget.
+	s.handler = accessLog(s.log, recoverPanics(s.log, s.metrics, s.mux))
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
@@ -177,8 +206,9 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler; every request passes through the
+// access-log and panic-recovery middleware before the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Close stops the executors after their current job; queued jobs stay
 // queued and report their last state.
@@ -276,6 +306,7 @@ func (s *Server) admit(w http.ResponseWriter, build func() *job, key string) {
 		s.metrics.add(&s.metrics.sweepsQueued, 1)
 	}
 	s.mu.Unlock()
+	s.log.Info("job queued", "job", shortID(j.id), "kind", j.kind, "queue_depth", len(s.queue))
 	writeJSON(w, http.StatusAccepted, j.status(false))
 }
 
@@ -451,6 +482,30 @@ func writeSSE(w http.ResponseWriter, e event) {
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.name, e.data)
 }
 
+// handleTrace serves a finished job's Chrome trace-event document — the
+// same format `zen2ee -trace` writes, loadable in Perfetto. A job that was
+// served from cache (or a daemon with tracing disabled) has no trace: 404,
+// not an empty file. An unfinished job is 409 like /result.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	trace, state := j.traceDoc()
+	if !state.terminal() {
+		writeError(w, http.StatusConflict, "job is %s; trace not ready", state)
+		return
+	}
+	if len(trace) == 0 {
+		writeError(w, http.StatusNotFound,
+			"no trace recorded for job %q (served from cache, or tracing disabled)", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(trace)
+}
+
 // --- Registry, metrics, health ---
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -491,6 +546,7 @@ func (s *Server) executor() {
 		case j := <-s.queue:
 			j.setRunning()
 			s.metrics.addRunning(1)
+			s.log.Info("job started", "job", shortID(j.id), "kind", j.kind)
 			switch j.kind {
 			case KindSweep:
 				s.executeSweep(j)
@@ -557,6 +613,12 @@ func (s *Server) progressPublisher(j *job, remapConfig func(int) int, configs in
 	return func(p core.Progress) {
 		if p.ExperimentDone() && p.Err == nil {
 			s.metrics.observeExperiment(p.ID, p.Elapsed)
+			// Enabled gate: shard-level progress is the hot path; skip the
+			// attribute assembly entirely below Debug.
+			if s.log.Enabled(context.Background(), slog.LevelDebug) {
+				s.log.Debug("experiment done", "job", shortID(j.id), "experiment", p.ID,
+					"config", remapConfig(p.Config), "elapsed", p.Elapsed)
+			}
 		}
 		ev := progressEvent{
 			ID: p.ID, Index: p.Index, Shard: p.Shard, Shards: p.Shards,
@@ -600,21 +662,66 @@ func (s *Server) execute(j *job) {
 		return
 	}
 
-	runCfg := core.RunConfig{Workers: s.workersFor(j.spec.Workers), Acquire: s.acquireSlot}
+	tr := s.newTrace()
+	runCfg := core.RunConfig{
+		Workers: s.workersFor(j.spec.Workers), Acquire: s.acquireSlot,
+		Trace: tr, ObserveShard: s.metrics.observeShard,
+	}
+	runStart := time.Now()
 	results, err := s.cfg.Runner(j.spec.IDs, j.spec.options(), runCfg,
 		s.progressPublisher(j, func(ci int) int { return ci }, 1))
+	runDur := time.Since(runStart)
 	if err == nil {
 		var payload []byte
-		if payload, err = report.MarshalResults(results, j.spec.options()); err == nil {
+		marshalStart := time.Now()
+		payload, err = report.MarshalResults(results, j.spec.options())
+		marshalDur := time.Since(marshalStart)
+		tr.Add(obs.Span{Cat: obs.CatMarshal, Name: "marshal", Config: -1, Worker: -1,
+			Start: tr.Offset(marshalStart), Dur: marshalDur})
+		if err == nil {
+			j.setLatency(runDur, marshalDur)
+			s.storeTrace(j, tr)
 			s.cache.put(j.id, payload)
 			j.setDone(payload)
 			s.metrics.add(&s.metrics.jobsDone, 1)
+			s.log.Info("job done", "job", shortID(j.id), "kind", j.kind,
+				"run", runDur, "marshal", marshalDur)
 			return
 		}
 		err = fmt.Errorf("encoding results: %w", err)
 	}
+	j.setLatency(runDur, 0)
+	s.storeTrace(j, tr)
 	j.setFailed(err)
 	s.metrics.add(&s.metrics.jobsFailed, 1)
+	s.log.Error("job failed", "job", shortID(j.id), "kind", j.kind, "error", err)
+}
+
+// newTrace builds the per-job execution trace recorder; nil (the disabled
+// recorder) when the daemon's TraceBytes is negative.
+func (s *Server) newTrace() *obs.Trace {
+	if s.cfg.TraceBytes < 0 {
+		return nil
+	}
+	return obs.New(s.cfg.TraceBytes)
+}
+
+// storeTrace serializes a job's trace into its Chrome trace-event document
+// before the terminal state flips, so a client that sees "done" never races
+// a still-missing trace.
+func (s *Server) storeTrace(j *job, tr *obs.Trace) {
+	if !tr.Enabled() {
+		return
+	}
+	spans, dropped := tr.Snapshot()
+	b, err := report.MarshalTrace(spans, dropped)
+	if err != nil {
+		// The trace is best-effort observability; losing it must not fail
+		// the job that produced it.
+		s.log.Error("encoding job trace", "job", shortID(j.id), "error", err)
+		return
+	}
+	j.setTrace(b)
 }
 
 // --- job state helpers (here rather than job.go: they pair with execute) ---

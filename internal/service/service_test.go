@@ -755,8 +755,18 @@ func TestMetricsRendersSortedExperiments(t *testing.T) {
 		t.Fatalf("experiment labels missing or unsorted:\n%s", out)
 	}
 	for _, want := range []string{
+		"# TYPE zen2eed_experiment_latency_seconds histogram",
+		`zen2eed_experiment_latency_seconds_bucket{experiment="fig1",le="0.025"} 0`,
+		`zen2eed_experiment_latency_seconds_bucket{experiment="fig1",le="0.05"} 2`,
+		`zen2eed_experiment_latency_seconds_bucket{experiment="fig1",le="+Inf"} 2`,
 		`zen2eed_experiment_latency_seconds_count{experiment="fig1"} 2`,
 		`zen2eed_experiment_latency_seconds_sum{experiment="fig1"} 0.08`,
+		`zen2eed_experiment_latency_seconds_bucket{experiment="fig7",le="0.1"} 1`,
+		"# TYPE zen2eed_shard_run_seconds histogram",
+		`zen2eed_shard_run_seconds_bucket{le="+Inf"} 0`,
+		"zen2eed_shard_run_seconds_count 0",
+		"# TYPE zen2eed_shard_queue_wait_seconds histogram",
+		`zen2eed_shard_queue_wait_seconds_bucket{le="0.001"} 0`,
 		"zen2eed_queue_depth 1",
 		"zen2eed_queue_capacity 4",
 		"zen2eed_cache_entries 2",

@@ -15,14 +15,20 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"zen2ee/internal/core"
+	"zen2ee/internal/obs"
 	"zen2ee/internal/report"
 )
 
-// maxSweepConfigs bounds one sweep request; larger studies split into
-// multiple sweeps (which the per-config cache makes cheap to resume).
-const maxSweepConfigs = 256
+// maxSweepConfigs bounds one sweep request. It is a sanity bound against
+// runaway grids (a typo like scales×seeds = 1000×1000), not a capacity
+// plan: the streaming executor's memory is bounded by sections in flight,
+// not sweep size, so the limit is deliberately far above any study the
+// paper's protocol calls for. Larger studies still split into multiple
+// sweeps, which the per-config cache makes cheap to resume.
+const maxSweepConfigs = 65536
 
 // SweepSpec is a sweep request: one experiment set evaluated at many
 // configurations. Configurations are given either explicitly (configs) or
@@ -136,6 +142,12 @@ func (s *Server) executeSweep(j *job) {
 	for i := range pending {
 		pending[i] = i
 	}
+	// One trace spans every round of the sweep. Known quirk: spans the core
+	// scheduler records index configurations within the claimed missing
+	// subset, while the marshal spans recorded here carry request indices —
+	// the trace args are for locating work, not joining the two numberings.
+	tr := s.newTrace()
+	var runDur, marshalDur time.Duration
 	for len(pending) > 0 {
 		// Classify every unresolved configuration: cached, claimed by this
 		// job (we run it), or claimed by a concurrent job (we wait).
@@ -170,19 +182,27 @@ func (s *Server) executeSweep(j *job) {
 					s.running.end(spec.configKey(i))
 				}
 			}
-			runCfg := core.RunConfig{Workers: s.workersFor(spec.Workers), Acquire: s.acquireSlot}
+			runCfg := core.RunConfig{
+				Workers: s.workersFor(spec.Workers), Acquire: s.acquireSlot,
+				Trace: tr, ObserveShard: s.metrics.observeShard,
+			}
 			// Remap the scheduler's index within the claimed subset onto
 			// the request's configuration list, so stream consumers see
 			// the indices they asked for. onConfig is serialized by the
 			// SweepRunner contract, so encodeErr needs no lock.
 			var encodeErr error
+			roundStart := time.Now()
 			err := s.cfg.SweepRunner(core.Sweep{IDs: spec.IDs, Configs: missing}, runCfg,
 				func(k int, cr core.ConfigResult, cerr error) {
 					if cerr != nil {
 						return // joined into the runner's returned error
 					}
 					i := mine[k]
+					marshalStart := time.Now()
 					payload, merr := report.MarshalResults(cr.Results, cr.Config)
+					marshalDur += time.Since(marshalStart)
+					tr.Add(obs.Span{Cat: obs.CatMarshal, Name: "marshal", Config: i, Worker: -1,
+						Start: tr.Offset(marshalStart), Dur: time.Since(marshalStart)})
 					if merr != nil {
 						if encodeErr == nil {
 							encodeErr = fmt.Errorf("encoding config (scale %g, seed %d) results: %w", cr.Config.Scale, cr.Config.Seed, merr)
@@ -193,8 +213,11 @@ func (s *Server) executeSweep(j *job) {
 					done[i] = true
 					s.metrics.add(&s.metrics.sweepConfigsRun, 1)
 					j.publish("config-done", configCachedEvent{Config: i, Configs: n})
+					s.log.Debug("sweep config done", "job", shortID(j.id), "config", i,
+						"scale", cr.Config.Scale, "seed", cr.Config.Seed)
 				},
 				s.progressPublisher(j, func(ci int) int { return mine[ci] }, n))
+			runDur += time.Since(roundStart)
 			releaseMine()
 			if err == nil {
 				err = encodeErr
@@ -208,8 +231,11 @@ func (s *Server) executeSweep(j *job) {
 				}
 			}
 			if err != nil {
+				j.setLatency(runDur, marshalDur)
+				s.storeTrace(j, tr)
 				j.setFailed(err)
 				s.metrics.add(&s.metrics.jobsFailed, 1)
+				s.log.Error("job failed", "job", shortID(j.id), "kind", j.kind, "error", err)
 				return
 			}
 		}
@@ -225,9 +251,15 @@ func (s *Server) executeSweep(j *job) {
 	}
 
 	// Every section sits in the per-config cache; the job completes
-	// without a payload (no whole-document double-buffering).
+	// without a payload (no whole-document double-buffering). Sweep
+	// run_seconds includes the per-section encoding, which happens inside
+	// the streaming run; marshal_seconds still reports it separately.
+	j.setLatency(runDur, marshalDur)
+	s.storeTrace(j, tr)
 	j.setDone(nil)
 	s.metrics.add(&s.metrics.jobsDone, 1)
+	s.log.Info("job done", "job", shortID(j.id), "kind", j.kind,
+		"run", runDur, "marshal", marshalDur)
 }
 
 // sweepSections collects a sweep's per-configuration payloads from the

@@ -257,11 +257,30 @@ func TestSweepValidation(t *testing.T) {
 		"negative scale":    `{"scales":[-1]}`,
 		"huge scale":        `{"scales":[5000]}`,
 		"zero workers":      `{"scales":[1],"workers":0}`,
-		"grid too large":    `{"scales":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17],"seeds":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}`,
 	} {
 		if _, code := postSweep(t, ts, body); code != http.StatusBadRequest {
 			t.Errorf("%s: got %d, want 400", name, code)
 		}
+	}
+}
+
+// TestSweepConfigCap pins the configuration bound as a sanity check, not a
+// capacity limit: a study far beyond the old 256-config cap canonicalizes
+// fine (the streaming executor's memory does not scale with sweep size),
+// while a runaway grid past maxSweepConfigs is still rejected.
+func TestSweepConfigCap(t *testing.T) {
+	configs := func(n int) []core.Config {
+		out := make([]core.Config, n)
+		for i := range out {
+			out[i] = core.Config{Scale: 1, Seed: uint64(i + 1)}
+		}
+		return out
+	}
+	if _, err := (SweepSpec{IDs: []string{"fig1"}, Configs: configs(1000)}).canonicalize(); err != nil {
+		t.Fatalf("1000-config sweep rejected: %v", err)
+	}
+	if _, err := (SweepSpec{IDs: []string{"fig1"}, Configs: configs(maxSweepConfigs + 1)}).canonicalize(); err == nil {
+		t.Fatal("sweep beyond maxSweepConfigs accepted")
 	}
 }
 
