@@ -4,8 +4,8 @@
 // Usage:
 //
 //	zen2ee list                          # list all experiments
-//	zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json] [-trace F]
-//	zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json] [-o F] [-trace F]
+//	zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json] [-trace F] [-listen-workers ADDR [-min-workers N]]
+//	zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json] [-o F] [-trace F] [-listen-workers ADDR [-min-workers N]]
 //	zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
 //
 // Scale 1 gives quick, statistically meaningful runs; the paper's full
@@ -27,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"zen2ee/internal/core"
+	"zen2ee/internal/dist"
 	"zen2ee/internal/obs"
 	"zen2ee/internal/report"
 )
@@ -96,6 +99,12 @@ flags (accepted before or after the positional argument):
   -cpuprofile F  write a CPU profile of the command to F (like go test's
                flag); inspect with 'go tool pprof F'
   -memprofile F  write a post-GC heap profile of the command to F
+  -listen-workers ADDR  run/sweep only: serve the distributed worker
+               protocol on ADDR and fan shards out to remote 'zen2eed
+               -worker http://HOST:PORT' processes; local execution stays
+               the fallback and results are byte-identical to a local run
+  -min-workers N  wait until N workers have registered before starting
+               (only with -listen-workers)
 
 sweep runs the scales × seeds cross-product of configurations as one
 batched job; each configuration's output section is byte-identical to the
@@ -123,7 +132,12 @@ type experimentFlags struct {
 	parallel   int    // worker count; 0 means runtime.NumCPU()
 	cpuprofile string
 	memprofile string
-	pos        []string
+	// listenWorkers starts a shard coordinator on this address so remote
+	// `zen2eed -worker` processes can execute the run's shards;
+	// minWorkers delays the run until that many have registered.
+	listenWorkers string
+	minWorkers    int
+	pos           []string
 }
 
 // parseExperimentArgs scans args in a single pass, accepting flags before
@@ -198,6 +212,16 @@ func parseExperimentArgs(args []string) (experimentFlags, error) {
 			f.cpuprofile, err = takeValue()
 		case "memprofile":
 			f.memprofile, err = takeValue()
+		case "listen-workers":
+			f.listenWorkers, err = takeValue()
+		case "min-workers":
+			var v string
+			if v, err = takeValue(); err == nil {
+				f.minWorkers, err = strconv.Atoi(v)
+				if err == nil && f.minWorkers < 1 {
+					err = fmt.Errorf("must be >= 1")
+				}
+			}
 		case "csv":
 			f.csv = true
 			if hasVal {
@@ -334,6 +358,52 @@ func runSuite(f experimentFlags) ([]*core.Result, error) {
 	return core.RunAllParallelProgress(f.opts, f.parallel, printProgress)
 }
 
+// withCoordinator wires distributed execution into a run when
+// -listen-workers is set: it serves the worker protocol on the given
+// address, optionally waits for -min-workers registrations, and rewires
+// the scheduler to dispatch shards through the coordinator's lease queue
+// (local execution remains the fallback, so a run with zero workers still
+// completes). The returned cleanup tears the listener and coordinator
+// down; it must run after the scheduler returns.
+func (f experimentFlags) withCoordinator(runCfg *core.RunConfig, tr *obs.Trace) (cleanup func(), err error) {
+	if f.listenWorkers == "" {
+		if f.minWorkers > 0 {
+			return nil, fmt.Errorf("-min-workers needs -listen-workers")
+		}
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", f.listenWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("-listen-workers: %w", err)
+	}
+	coord := dist.NewCoordinator(dist.Config{})
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "zen2ee: coordinator listening on %s (join with: zen2eed -worker http://%s)\n", addr, addr)
+	if f.minWorkers > 0 {
+		fmt.Fprintf(os.Stderr, "zen2ee: waiting for %d worker(s) to register...\n", f.minWorkers)
+		for coord.WorkersConnected() < f.minWorkers {
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	h := coord.StartRun(tr)
+	runCfg.RunShard = h.RunShard
+	// Size the dispatch width to the whole pool — local slots plus every
+	// registered worker's — so a fleet larger than this machine's CPU
+	// count is actually kept busy. Placement does not affect results.
+	local := f.parallel
+	if local == 0 {
+		local = runtime.NumCPU()
+	}
+	runCfg.Workers = coord.PoolSize(local)
+	return func() {
+		h.Finish()
+		srv.Close()
+		coord.Close()
+	}, nil
+}
+
 // rejectSweepAxes guards the single-configuration commands against the
 // sweep-only flags, so "-scales" on run fails loudly instead of silently
 // running one configuration.
@@ -367,8 +437,12 @@ func run(args []string) error {
 func runExperiments(f experimentFlags) error {
 	tr := f.newTrace()
 	runCfg := core.RunConfig{Workers: f.parallel, Trace: tr}
+	finish, err := f.withCoordinator(&runCfg, tr)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	var results []*core.Result
-	var err error
 	if f.pos[0] == "all" {
 		results, err = core.RunIDsConfig(nil, f.opts, runCfg, printProgress)
 		if err != nil {
@@ -462,12 +536,17 @@ func sweep(args []string) error {
 	}
 	return f.withProfiles(func() error {
 		sw := core.Sweep{IDs: ids, Configs: core.Grid(f.scales, f.seeds)}
+		tr := f.newTrace()
+		runCfg := core.RunConfig{Workers: f.parallel, Trace: tr}
+		finish, err := f.withCoordinator(&runCfg, tr)
+		if err != nil {
+			return err
+		}
+		defer finish()
 		out, commit, err := openOutput(f.output)
 		if err != nil {
 			return err
 		}
-		tr := f.newTrace()
-		runCfg := core.RunConfig{Workers: f.parallel, Trace: tr}
 		if f.jsonOut {
 			err = commit(streamSweepJSON(out, sw, runCfg))
 		} else {
@@ -604,6 +683,9 @@ func genExperiments(args []string) error {
 	}
 	if f.trace != "" {
 		return fmt.Errorf("-trace is a run/sweep flag; gen-experiments does not execute a traced schedule")
+	}
+	if f.listenWorkers != "" || f.minWorkers > 0 {
+		return fmt.Errorf("-listen-workers/-min-workers are run/sweep flags")
 	}
 	if len(f.pos) != 0 {
 		return fmt.Errorf("gen-experiments takes no positional arguments")

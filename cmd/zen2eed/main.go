@@ -7,7 +7,20 @@
 //
 // Usage: zen2eed [-addr :8080] [-executors N] [-queue N] [-cache N]
 // [-cache-bytes N] [-sse-keepalive D] [-log-format text|json] [-log-level L]
-// [-trace-bytes N] [-pprof]
+// [-trace-bytes N] [-pprof] [-listen-workers] [-lease-ttl D]
+//
+// With -listen-workers the daemon also acts as a distributed shard
+// coordinator: headless worker processes started with
+//
+//	zen2eed -worker http://coordinator:8080 [-worker-name N] [-executors S]
+//
+// register over POST /dist/v1/*, lease (configuration, experiment, shard)
+// tasks, and execute them with the same per-shard RNG streams the local
+// scheduler derives — results are byte-identical however the shards are
+// placed. GET /v1/workers reports the pool. Workers that miss heartbeats
+// for -lease-ttl lose their leases, which re-queue on the survivors (or
+// run locally); a SIGTERM'd worker finishes its in-flight shards and
+// deregisters, relinquishing anything unfinished immediately.
 //
 // The daemon logs structured events via log/slog: one access line per
 // request and job lifecycle events (queued/started/done/failed) carrying a
@@ -45,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"zen2ee/internal/dist"
 	"zen2ee/internal/service"
 )
 
@@ -54,7 +68,11 @@ type options struct {
 	pprof     bool
 	logFormat string
 	logLevel  string
-	cfg       service.Config
+	// worker switches the process into headless worker mode against the
+	// coordinator at this base URL; workerName overrides its reported name.
+	worker     string
+	workerName string
+	cfg        service.Config
 }
 
 // buildLogger resolves the -log-format/-log-level pair into the daemon's
@@ -96,6 +114,14 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 		"log threshold: debug, info, warn, or error (debug adds per-experiment and per-config completion events)")
 	fs.Int64Var(&o.cfg.TraceBytes, "trace-bytes", 0,
 		"per-job execution-trace span buffer bound in bytes (0 = the 1 MiB default, negative disables per-job tracing)")
+	fs.BoolVar(&o.cfg.Dist, "listen-workers", false,
+		"accept remote 'zen2eed -worker' processes on this daemon's address: mounts the /dist/v1/ worker protocol and GET /v1/workers, and dispatches job shards to the connected pool")
+	fs.DurationVar(&o.cfg.DistLeaseTTL, "lease-ttl", 0,
+		"how long a worker may go silent before its leased shards re-queue elsewhere (0 = the 15s default; needs -listen-workers)")
+	fs.StringVar(&o.worker, "worker", "",
+		"run as a headless worker for the coordinator at this base URL (http://host:port) instead of serving; -executors sets the concurrent shard slots")
+	fs.StringVar(&o.workerName, "worker-name", "",
+		"name this worker reports to the coordinator (default: hostname-pid; needs -worker)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -114,7 +140,48 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	if o.cfg.SSEKeepAlive < time.Second {
 		return o, fmt.Errorf("-sse-keepalive must be >= 1s")
 	}
+	if o.worker != "" && o.cfg.Dist {
+		return o, fmt.Errorf("-worker and -listen-workers are mutually exclusive: a process either serves jobs or executes another coordinator's shards")
+	}
+	if o.workerName != "" && o.worker == "" {
+		return o, fmt.Errorf("-worker-name only applies with -worker")
+	}
+	if o.cfg.DistLeaseTTL < 0 {
+		return o, fmt.Errorf("-lease-ttl must be >= 0 (0 means the 15s default)")
+	}
+	if o.cfg.DistLeaseTTL > 0 && !o.cfg.Dist {
+		return o, fmt.Errorf("-lease-ttl only applies with -listen-workers")
+	}
 	return o, nil
+}
+
+// runWorker is the -worker mode: a headless pool member that leases and
+// executes shards for a remote coordinator until SIGTERM/SIGINT, then
+// drains — in-flight shards finish and complete, anything unfinished past
+// the drain bound is relinquished via deregister so the coordinator
+// re-queues it immediately.
+func runWorker(o options, logger *slog.Logger) error {
+	host, _ := os.Hostname()
+	name := o.workerName
+	if name == "" {
+		if host == "" {
+			name = fmt.Sprintf("worker-%d", os.Getpid())
+		} else {
+			name = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+	}
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		Coordinator: o.worker, Name: name, Host: host, PID: os.Getpid(),
+		Slots: o.cfg.Executors, Logger: logger,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "zen2eed: worker %q executing %d slot(s) for %s\n",
+		name, o.cfg.Executors, o.worker)
+	return w.Run(ctx)
 }
 
 // withPprof mounts the net/http/pprof handlers in front of the service when
@@ -154,6 +221,14 @@ func main() {
 	}
 	o.cfg.Logger = logger
 
+	if o.worker != "" {
+		if err := runWorker(o, logger); err != nil {
+			fmt.Fprintln(os.Stderr, "zen2eed:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	svc := service.New(o.cfg)
 	defer svc.Close()
 	httpServer := &http.Server{Addr: o.addr, Handler: withPprof(svc, o.pprof)}
@@ -169,6 +244,9 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "zen2eed: serving on %s (executors %d, queue %d, cache %d)\n",
 		o.addr, o.cfg.Executors, o.cfg.QueueDepth, o.cfg.CacheEntries)
+	if o.cfg.Dist {
+		fmt.Fprintf(os.Stderr, "zen2eed: accepting workers (join with: zen2eed -worker http://HOST%s)\n", o.addr)
+	}
 	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "zen2eed:", err)
 		os.Exit(1)

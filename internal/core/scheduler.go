@@ -90,6 +90,18 @@ type RunConfig struct {
 	// this to share one executor pool across all concurrently running jobs
 	// while letting a lone job's shards spread over the whole pool.
 	Acquire func() (release func())
+	// RunShard, when non-nil, executes every shard task in place of the
+	// scheduler's direct Shard.Run call: the hook receives the shard's
+	// wire-addressable ShardRef plus its local execution thunk and returns
+	// the output, the name of the remote worker that produced it (empty
+	// for in-process execution), and the execution error. This is the seam
+	// a distributed dispatcher (internal/dist) plugs into — planning,
+	// reduction order, delivery, and seed derivation stay with the
+	// scheduler, only the execution window moves. Calls arrive on scheduler
+	// worker goroutines and may block; Acquire is usually nil alongside it,
+	// since slot gating moves into the dispatcher's lease/local-fallback
+	// policy.
+	RunShard func(ShardTask) (out any, origin string, err error)
 	// Trace, when non-nil, records an obs.Span per executed (configuration,
 	// experiment, shard) task — enqueue→start queue wait, execution window,
 	// worker attribution, outcome — plus scheduler lifecycle spans (plan,
@@ -463,7 +475,20 @@ func runSweep(exps []Experiment, configs []Config, cfg RunConfig, onConfig Reduc
 				}
 				er.startNS.CompareAndSwap(0, time.Now().UnixNano())
 				start := time.Now()
-				out, err := runShardGuarded(er.shards[t.shard], er.shardOptions(t.shard))
+				var out any
+				var origin string
+				var err error
+				if cfg.RunShard != nil {
+					sh := er.shards[t.shard]
+					so := er.shardOptions(t.shard)
+					out, origin, err = runHookGuarded(cfg.RunShard, ShardTask{
+						Ref:         ShardRef{Exp: er.exp.ID, Config: configs[t.config], Shard: t.shard},
+						ConfigIndex: t.config, Shards: len(er.shards), Label: sh.Label,
+						Run: func() (any, error) { return runShardGuarded(sh, so) },
+					})
+				} else {
+					out, err = runShardGuarded(er.shards[t.shard], er.shardOptions(t.shard))
+				}
 				release()
 				elapsed := time.Since(start)
 				if t.enqueueNS != 0 {
@@ -479,7 +504,8 @@ func runSweep(exps []Experiment, configs []Config, cfg RunConfig, onConfig Reduc
 							Cat: obs.CatShard, Name: er.exp.ID,
 							Config: t.config, Shard: t.shard + 1,
 							Label: er.shards[t.shard].Label, Worker: worker,
-							Start: tr.Offset(start), Dur: elapsed, Wait: wait,
+							Origin: origin,
+							Start:  tr.Offset(start), Dur: elapsed, Wait: wait,
 						}
 						if err != nil {
 							sp.Err = err.Error()

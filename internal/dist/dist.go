@@ -1,0 +1,160 @@
+// Package dist distributes one sweep's (configuration, experiment, shard)
+// tasks across processes and hosts. It is a coordinator/worker pool over
+// plain HTTP/JSON: workers register, lease shard tasks with long polls,
+// heartbeat while executing, and return outputs plus execution timing; the
+// coordinator owns the queue, lease liveness, bounded retry with backoff on
+// worker loss, locality-aware placement, and a local-execution fallback, and
+// plugs into the scheduler purely through the core.RunConfig.RunShard hook —
+// planning, fixed-order FP reduction, and streaming delivery never leave the
+// coordinating process, so a sweep split across 1, 2, or N workers (workers
+// dying mid-sweep included) produces byte-identical sweep documents.
+//
+// The wire unit is core.ShardRef: experiment ID + raw configuration + shard
+// index. Both sides run the same binary against the same registry, so the
+// reference — not the closure — crosses the wire, and the worker re-derives
+// the identical plan and per-shard RNG stream via core.ExecuteShardRef.
+// Outputs return as gob payloads, which round-trip float64 values
+// bit-exactly; worker-measured execution windows merge into the
+// coordinator's obs.Trace as CatRemote spans with worker attribution, so a
+// distributed run still renders one coherent Chrome-trace timeline.
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"zen2ee/internal/core"
+)
+
+// TaskSpec is one leased unit of work on the wire.
+type TaskSpec struct {
+	// ID is the coordinator-assigned lease identity; completions echo it.
+	ID string `json:"id"`
+	// Ref addresses the shard: experiment ID, raw configuration, index.
+	Ref core.ShardRef `json:"ref"`
+	// Label is the shard's plan label, for worker logs and diagnostics.
+	Label string `json:"label,omitempty"`
+}
+
+// Wire bodies of the worker protocol under POST /dist/v1/. All requests
+// and responses are JSON; outputs travel as gob inside the JSON (base64 by
+// encoding/json's []byte rule).
+type registerRequest struct {
+	Name  string `json:"name,omitempty"`
+	Host  string `json:"host,omitempty"`
+	PID   int    `json:"pid,omitempty"`
+	Slots int    `json:"slots"`
+}
+
+type registerResponse struct {
+	WorkerID        string `json:"worker_id"`
+	HeartbeatMillis int64  `json:"heartbeat_ms"`
+	LeaseTTLMillis  int64  `json:"lease_ttl_ms"`
+}
+
+type leaseRequest struct {
+	WorkerID   string `json:"worker_id"`
+	WaitMillis int64  `json:"wait_ms,omitempty"`
+}
+
+type leaseResponse struct {
+	// Task is nil on an empty poll: no work became eligible within the
+	// poll window; lease again.
+	Task *TaskSpec `json:"task,omitempty"`
+}
+
+type completeRequest struct {
+	WorkerID string `json:"worker_id"`
+	TaskID   string `json:"task_id"`
+	// Output is the gob-encoded shard output (empty for a nil output or a
+	// failed shard).
+	Output []byte `json:"output,omitempty"`
+	// Error is the shard's failure message; empty means success.
+	Error string `json:"error,omitempty"`
+	// StartDeltaNS is lease receipt → execution start on the worker's
+	// clock; DurNS the execution window. The coordinator anchors both to
+	// its own lease-grant instant when recording the remote trace span.
+	StartDeltaNS int64 `json:"start_delta_ns,omitempty"`
+	DurNS        int64 `json:"dur_ns,omitempty"`
+}
+
+type completeResponse struct {
+	// Duplicate marks an idempotent re-completion: the coordinator had
+	// already accepted this worker's result for the task.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+type heartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+type deregisterRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Protocol error codes (errorResponse.Code).
+const (
+	// codeUnknownWorker: the worker ID is not registered (expired and
+	// collected, or never registered). The worker should re-register.
+	codeUnknownWorker = "unknown_worker"
+	// codeStaleLease: the completed lease is no longer this worker's — it
+	// expired and was re-dispatched (or its run finished). The result is
+	// discarded; exactly one completion per task ever lands.
+	codeStaleLease = "stale_lease"
+	// codeDraining: the coordinator is shutting down and leases nothing.
+	codeDraining = "draining"
+)
+
+// encodeOutput serializes a shard output for the wire. gob preserves
+// float64 bit patterns exactly, so outputs round-trip without perturbing
+// the byte-determinism of downstream reduction and marshaling. A nil
+// output encodes as an empty payload.
+func encodeOutput(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeOutput is encodeOutput's inverse.
+func decodeOutput(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// RegisterOutputType registers a shard-output concrete type with the wire
+// codec. The types every registered experiment returns today are built in;
+// an experiment introducing a new output type calls this from an init so
+// its shards can cross the wire.
+func RegisterOutputType(v any) { gob.Register(v) }
+
+func init() {
+	// The shard-output types of the current registry: scalar metrics
+	// (fig7's idle floor, tab1/fig4 samples), series ([]float64 sweeps,
+	// fig8's latency matrix rows), and whole Results from auto-wrapped
+	// monolithic plans — plus a few basics so simple custom experiments
+	// work unregistered.
+	for _, v := range []any{
+		float64(0), []float64(nil), [][]float64(nil),
+		int(0), int64(0), uint64(0), string(""), bool(false),
+		map[string]float64(nil), map[string][]float64(nil),
+		&core.Result{},
+	} {
+		gob.Register(v)
+	}
+}

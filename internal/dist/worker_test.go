@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// startWorker runs an in-process Worker against the env and returns a
+// cancel function plus a channel closed when Run returns.
+func startWorker(t *testing.T, env *testEnv, cfg WorkerConfig) (cancel func(), done <-chan struct{}) {
+	t.Helper()
+	cfg.Coordinator = env.ts.URL
+	w, err := NewWorker(cfg)
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		if err := w.Run(ctx); err != nil {
+			t.Errorf("worker Run: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		stop()
+		<-ch
+	})
+	return stop, ch
+}
+
+func TestWorkerExecutesLeasedShards(t *testing.T) {
+	env := newTestEnv(t, Config{})
+	startWorker(t, env, WorkerConfig{
+		Name: "stub", Slots: 2,
+		Execute: func(ts TaskSpec) (any, error) { return float64(ts.Ref.Shard) * 2, nil },
+	})
+	waitFor(t, "worker registration", func() bool { return env.c.WorkersConnected() == 1 })
+
+	h := env.c.StartRun(nil)
+	defer h.Finish()
+	for shard := 0; shard < 4; shard++ {
+		o := waitOutcome(t, runShardAsync(h, shardTask(0, shard, nil)))
+		if o.err != nil || o.out != float64(shard)*2 || o.origin != "stub" {
+			t.Fatalf("shard %d outcome = %+v, want %v from stub", shard, o, float64(shard)*2)
+		}
+	}
+}
+
+func TestWorkerInvalidCoordinatorURL(t *testing.T) {
+	if _, err := NewWorker(WorkerConfig{Coordinator: "not a url"}); err == nil {
+		t.Fatalf("NewWorker accepted a relative coordinator URL")
+	}
+}
+
+func TestWorkerGracefulDrainFinishesInflight(t *testing.T) {
+	env := newTestEnv(t, Config{LeaseTTL: time.Minute})
+	executing := make(chan struct{})
+	release := make(chan struct{})
+	cancel, done := startWorker(t, env, WorkerConfig{
+		Name: "drainer", Slots: 1,
+		Execute: func(TaskSpec) (any, error) {
+			close(executing)
+			<-release
+			return 4.5, nil
+		},
+	})
+	waitFor(t, "worker registration", func() bool { return env.c.WorkersConnected() == 1 })
+
+	h := env.c.StartRun(nil)
+	defer h.Finish()
+	ch := runShardAsync(h, shardTask(0, 0, nil))
+	<-executing
+
+	// SIGTERM equivalent: cancel mid-execution. The worker must finish
+	// the in-flight shard, complete it, and only then exit.
+	cancel()
+	select {
+	case <-done:
+		t.Fatalf("worker exited with a shard still executing")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("worker did not exit after its in-flight shard finished")
+	}
+	o := waitOutcome(t, ch)
+	if o.out != 4.5 || o.origin != "drainer" || o.err != nil {
+		t.Fatalf("outcome = %+v, want 4.5 from drainer (drained completion, not a re-queue)", o)
+	}
+	if got := env.c.WorkersConnected(); got != 0 {
+		t.Fatalf("WorkersConnected after drain = %d, want 0 (deregistered)", got)
+	}
+}
+
+func TestWorkerRelinquishesOnDrainTimeout(t *testing.T) {
+	// The shard's local thunk is the fallback that must run after the
+	// stuck worker relinquishes; TTL is a minute, so only the immediate
+	// re-queue on deregister can unblock it in time.
+	env := newTestEnv(t, Config{LeaseTTL: time.Minute})
+	executing := make(chan struct{})
+	hang := make(chan struct{})
+	defer close(hang)
+	cancel, done := startWorker(t, env, WorkerConfig{
+		Name: "stuck", Slots: 1, DrainTimeout: 50 * time.Millisecond,
+		Execute: func(TaskSpec) (any, error) {
+			close(executing)
+			<-hang
+			return nil, nil
+		},
+	})
+	waitFor(t, "worker registration", func() bool { return env.c.WorkersConnected() == 1 })
+
+	h := env.c.StartRun(nil)
+	defer h.Finish()
+	ch := runShardAsync(h, shardTask(0, 0, 9.75))
+	<-executing
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("worker did not exit after drain timeout")
+	}
+	// Deregistration relinquished the lease; the pool is now empty, so
+	// the waiting scheduler goroutine reclaims and runs the shard locally
+	// — long before the one-minute lease TTL could have expired it.
+	o := waitOutcome(t, ch)
+	if o.out != 9.75 || o.origin != "" || o.err != nil {
+		t.Fatalf("outcome = %+v, want local 9.75 after relinquish", o)
+	}
+	if got := env.c.RetriesTotal(); got != 0 {
+		t.Fatalf("RetriesTotal = %d, want 0 (relinquish is not a fault)", got)
+	}
+}
+
+func TestWorkerReregistersAfterExpiry(t *testing.T) {
+	env := newTestEnv(t, Config{LeaseTTL: 150 * time.Millisecond})
+	startWorker(t, env, WorkerConfig{
+		Name: "lazarus", Slots: 1,
+		Execute: func(TaskSpec) (any, error) { return 1.5, nil },
+	})
+	waitFor(t, "worker registration", func() bool { return env.c.WorkersConnected() == 1 })
+
+	// Force-expire the worker server-side (simulates a coordinator that
+	// lost this worker's state: restart, expiry, partition). The client's
+	// next lease poll gets unknown_worker and must re-register.
+	env.c.mu.Lock()
+	for _, w := range env.c.workers {
+		env.c.dropWorkerLocked(w, true)
+	}
+	env.c.mu.Unlock()
+
+	waitFor(t, "re-registration", func() bool { return env.c.WorkersConnected() == 1 })
+
+	h := env.c.StartRun(nil)
+	defer h.Finish()
+	o := waitOutcome(t, runShardAsync(h, shardTask(0, 0, nil)))
+	if o.out != 1.5 || o.origin != "lazarus" {
+		t.Fatalf("outcome = %+v, want 1.5 from re-registered lazarus", o)
+	}
+}

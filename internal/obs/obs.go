@@ -40,6 +40,12 @@ const (
 	// CatMarshal covers rendering a result set into its canonical JSON
 	// document (recorded by the service and CLI, not the scheduler).
 	CatMarshal = "marshal"
+	// CatRemote covers one shard's execution window as measured on a
+	// remote worker (internal/dist): the coordinator records one remote
+	// span per remotely executed shard from the timing the worker reports
+	// at lease completion, alongside the scheduler's own CatShard span for
+	// the same task, so a distributed sweep renders one merged timeline.
+	CatRemote = "remote"
 )
 
 // Span is one timed interval of a traced run. Offsets are relative to the
@@ -62,6 +68,11 @@ type Span struct {
 	// Worker is the scheduler worker index that executed the span; -1 for
 	// spans recorded outside the worker pool.
 	Worker int
+	// Origin names the remote worker that executed the span, for shard
+	// tasks dispatched through a distributed pool (internal/dist); empty
+	// for spans executed in-process. Trace export keys remote tracks off
+	// it, so Worker (a local goroutine index) and Origin never conflict.
+	Origin string
 	// Start is the span's start offset from the trace epoch.
 	Start time.Duration
 	// Dur is the span's length.
@@ -78,7 +89,7 @@ type Span struct {
 const spanOverheadBytes = 96
 
 func (s Span) cost() int64 {
-	return spanOverheadBytes + int64(len(s.Cat)+len(s.Name)+len(s.Label)+len(s.Err))
+	return spanOverheadBytes + int64(len(s.Cat)+len(s.Name)+len(s.Label)+len(s.Origin)+len(s.Err))
 }
 
 // DefaultLimitBytes is the span-buffer budget a Trace gets when the caller

@@ -57,6 +57,12 @@ func traceTID(worker int) int {
 	return worker + 1
 }
 
+// remoteTIDBase is where remote-worker tracks start: spans carrying an
+// Origin (shards executed by a distributed worker, internal/dist) map onto
+// tids remoteTIDBase+i in sorted-origin order, far above any plausible
+// local goroutine count, so local and remote lanes never collide.
+const remoteTIDBase = 1000
+
 func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 
 // MarshalTrace renders spans (any order; sorted canonically internally)
@@ -66,10 +72,32 @@ func MarshalTrace(spans []obs.Span, dropped int) ([]byte, error) {
 	obs.SortSpans(ordered)
 
 	// Thread metadata first: name every track that appears, in tid order,
-	// so viewers label the scheduler and worker lanes.
+	// so viewers label the scheduler, worker, and remote-worker lanes.
+	// Remote origins get deterministic tids in sorted-origin order.
+	origins := map[string]bool{}
+	for _, s := range ordered {
+		if s.Origin != "" {
+			origins[s.Origin] = true
+		}
+	}
+	sortedOrigins := make([]string, 0, len(origins))
+	for o := range origins {
+		sortedOrigins = append(sortedOrigins, o)
+	}
+	sort.Strings(sortedOrigins)
+	originTID := make(map[string]int, len(sortedOrigins))
+	for i, o := range sortedOrigins {
+		originTID[o] = remoteTIDBase + i
+	}
+	tidFor := func(s obs.Span) int {
+		if s.Origin != "" {
+			return originTID[s.Origin]
+		}
+		return traceTID(s.Worker)
+	}
 	tids := map[int]bool{}
 	for _, s := range ordered {
-		tids[traceTID(s.Worker)] = true
+		tids[tidFor(s)] = true
 	}
 	sortedTIDs := make([]int, 0, len(tids))
 	for tid := range tids {
@@ -87,7 +115,10 @@ func MarshalTrace(spans []obs.Span, dropped int) ([]byte, error) {
 	})
 	for _, tid := range sortedTIDs {
 		name := "scheduler"
-		if tid > 0 {
+		switch {
+		case tid >= remoteTIDBase:
+			name = "remote " + sortedOrigins[tid-remoteTIDBase]
+		case tid > 0:
 			name = fmt.Sprintf("worker %d", tid-1)
 		}
 		doc.TraceEvents = append(doc.TraceEvents, TraceEvent{
@@ -99,7 +130,7 @@ func MarshalTrace(spans []obs.Span, dropped int) ([]byte, error) {
 		ev := TraceEvent{
 			Name: s.Name, Cat: s.Cat, Ph: "X",
 			TS: usec(s.Start), Dur: usec(s.Dur),
-			PID: tracePID, TID: traceTID(s.Worker),
+			PID: tracePID, TID: tidFor(s),
 			Args: map[string]any{},
 		}
 		if s.Shard > 0 && s.Label != "" {
@@ -116,6 +147,9 @@ func MarshalTrace(spans []obs.Span, dropped int) ([]byte, error) {
 		}
 		if s.Wait > 0 {
 			ev.Args["queue_wait_us"] = usec(s.Wait)
+		}
+		if s.Origin != "" {
+			ev.Args["worker"] = s.Origin
 		}
 		if s.Err != "" {
 			ev.Args["error"] = s.Err

@@ -1,0 +1,105 @@
+// Daemon-level distribution tests: the coordinator mounted under
+// /dist/v1/, real workers executing a submitted job's shards, the
+// /v1/workers pool report, and the gated metrics series.
+
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"zen2ee/internal/dist"
+)
+
+func TestWorkersEndpointDisabledWithoutDist(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, code := getBody(t, ts.URL+"/v1/workers")
+	if code != 404 || !strings.Contains(body, "-listen-workers") {
+		t.Fatalf("GET /v1/workers without dist = %d %q, want 404 naming -listen-workers", code, body)
+	}
+	metrics, _ := getBody(t, ts.URL+"/metrics")
+	if strings.Contains(metrics, "zen2eed_workers_connected") {
+		t.Fatalf("non-dist daemon emits coordinator metrics")
+	}
+}
+
+func TestDistributedJobExecutesOnWorkerByteIdentical(t *testing.T) {
+	// Reference bytes from a classic local-only daemon.
+	_, localTS := newTestServer(t, Config{Executors: 2})
+	st, _ := postJob(t, localTS, testSpecJSON)
+	waitState(t, localTS, st.ID)
+	want, code := getBody(t, localTS.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != 200 {
+		t.Fatalf("local result = %d", code)
+	}
+
+	s, ts := newTestServer(t, Config{Executors: 2, Dist: true})
+	w, err := dist.NewWorker(dist.WorkerConfig{Coordinator: ts.URL, Name: "svcworker", Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() { defer close(workerDone); w.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-workerDone })
+	deadline := time.Now().Add(10 * time.Second)
+	for s.coord.WorkersConnected() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never registered with the daemon coordinator")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	st, _ = postJob(t, ts, testSpecJSON)
+	if final := waitState(t, ts, st.ID); final.State != StateDone {
+		t.Fatalf("distributed job finished %s: %s", final.State, final.Error)
+	}
+	got, code := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != 200 {
+		t.Fatalf("distributed result = %d", code)
+	}
+	if got != want {
+		t.Fatalf("distributed result differs from local result (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The pool report must attribute the executed shards to the worker.
+	body, code := getBody(t, ts.URL+"/v1/workers")
+	if code != 200 {
+		t.Fatalf("GET /v1/workers = %d", code)
+	}
+	var pool struct {
+		WorkersConnected int `json:"workers_connected"`
+		RetriesTotal     int `json:"retries_total"`
+		Workers          []struct {
+			Name      string `json:"name"`
+			Live      bool   `json:"live"`
+			Completed int    `json:"shards_completed"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal([]byte(body), &pool); err != nil {
+		t.Fatalf("decoding /v1/workers: %v", err)
+	}
+	if pool.WorkersConnected != 1 || len(pool.Workers) != 1 {
+		t.Fatalf("pool = %s, want exactly one connected worker", body)
+	}
+	if w := pool.Workers[0]; w.Name != "svcworker" || !w.Live || w.Completed == 0 {
+		t.Fatalf("worker row = %+v, want live svcworker with completed shards", w)
+	}
+	if pool.RetriesTotal != 0 {
+		t.Fatalf("retries_total = %d on a healthy run, want 0", pool.RetriesTotal)
+	}
+
+	metrics, _ := getBody(t, ts.URL+"/metrics")
+	for _, series := range []string{
+		"zen2eed_workers_connected 1",
+		"zen2eed_shard_leases_inflight 0",
+		"zen2eed_shard_retries_total 0",
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Fatalf("metrics lack %q", series)
+		}
+	}
+}

@@ -96,6 +96,11 @@ type gauges struct {
 	// cacheBytes is the summed payload size of the cached entries;
 	// cacheBytesCap the configured byte bound (0 = unbounded).
 	cacheBytes, cacheBytesCap int64
+	// dist gates the coordinator series: a daemon without -listen-workers
+	// emits no distribution metrics at all, keeping its scrape output
+	// byte-identical to pre-distribution builds.
+	dist                                           bool
+	workersConnected, leasesInflight, shardRetries int
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -153,6 +158,11 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	gauge("zen2eed_cache_capacity", "Result cache capacity.", float64(g.cacheCap))
 	gauge("zen2eed_cache_bytes", "Summed payload size of cached result entries.", float64(g.cacheBytes))
 	gauge("zen2eed_cache_capacity_bytes", "Result cache byte bound (0 = unbounded).", float64(g.cacheBytesCap))
+	if g.dist {
+		gauge("zen2eed_workers_connected", "Remote workers registered with the shard coordinator and inside their liveness TTL.", float64(g.workersConnected))
+		gauge("zen2eed_shard_leases_inflight", "Shard leases currently held by remote workers.", float64(g.leasesInflight))
+		counter("zen2eed_shard_retries_total", "Shard leases lost to worker expiry and re-queued for retry.", uint64(g.shardRetries))
+	}
 
 	histogram("zen2eed_shard_run_seconds", "Execution wall time of individual shard tasks.")
 	writeHistogram(w, "zen2eed_shard_run_seconds", "", m.shardRun.Snapshot())

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"zen2ee/internal/core"
+	"zen2ee/internal/dist"
 	"zen2ee/internal/obs"
 	"zen2ee/internal/report"
 )
@@ -100,6 +101,18 @@ type Config struct {
 	// retention is bounded by JobHistory × TraceBytes, since traces are
 	// evicted with their jobs.
 	TraceBytes int64
+	// Dist enables the distributed shard coordinator: zen2eed worker
+	// processes register over POST /dist/v1/* and lease this daemon's
+	// shard work, with GET /v1/workers reporting the pool. Local
+	// execution remains the fallback — a daemon whose workers all vanish
+	// still completes every job through its own executor slots.
+	Dist bool
+	// DistLeaseTTL is how long a worker may go silent before its leases
+	// expire and re-queue (default 15s); DistMaxRetries bounds remote
+	// attempts per shard before it is pinned to local execution (default
+	// 3). Both only matter when Dist is set.
+	DistLeaseTTL   time.Duration
+	DistMaxRetries int
 	// Runner overrides the experiment runner (tests); nil means core.RunIDs.
 	Runner Runner
 	// SweepRunner overrides the sweep runner (tests); nil means
@@ -159,6 +172,12 @@ type Server struct {
 	// holds one slot while it executes, so Executors bounds the daemon's
 	// total simulation concurrency at shard granularity.
 	slots chan struct{}
+	// coord is the distributed shard coordinator; nil unless Config.Dist.
+	// When set, jobs dispatch shards through its lease queue and remote
+	// workers execute them — local fallback re-enters the slots pool
+	// through the coordinator's Local hook, so Executors still bounds
+	// everything that runs in this process.
+	coord *dist.Coordinator
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -184,6 +203,22 @@ func New(cfg Config) *Server {
 		jobs:    map[string]*job{},
 		quit:    make(chan struct{}),
 	}
+	if cfg.Dist {
+		s.coord = dist.NewCoordinator(dist.Config{
+			LeaseTTL: cfg.DistLeaseTTL, MaxRetries: cfg.DistMaxRetries,
+			Logger: cfg.Logger,
+			// Local fallback borrows an executor slot like any other shard,
+			// so shards reclaimed from lost workers cannot oversubscribe the
+			// daemon's own simulation budget.
+			Local: func(run func() (any, error)) (any, error) {
+				release := s.acquireSlot()
+				defer release()
+				return run()
+			},
+		})
+		s.mux.Handle("/dist/v1/", s.coord.Handler())
+	}
+	s.mux.HandleFunc("GET /v1/workers", s.handleWorkers)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
@@ -211,9 +246,17 @@ func New(cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Close stops the executors after their current job; queued jobs stay
-// queued and report their last state.
+// queued and report their last state. The shard coordinator (when
+// enabled) drains first: workers get 503 on new leases, and shards the
+// current jobs still need run locally instead of waiting on a departing
+// fleet.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.quit) })
+	s.closeOnce.Do(func() {
+		if s.coord != nil {
+			s.coord.Close()
+		}
+		close(s.quit)
+	})
 	s.wg.Wait()
 }
 
@@ -522,13 +565,39 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleWorkers reports the distributed worker pool: every worker the
+// coordinator has seen (live and lost), with in-flight lease counts and
+// completed/retried shard totals. The route exists even when distribution
+// is disabled so clients get a precise answer instead of a generic 404.
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if s.coord == nil {
+		writeError(w, http.StatusNotFound,
+			"distributed execution disabled; start the daemon with -listen-workers")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers_connected": s.coord.WorkersConnected(),
+		"leases_inflight":   s.coord.LeasesInflight(),
+		"pending_tasks":     s.coord.PendingTasks(),
+		"retries_total":     s.coord.RetriesTotal(),
+		"workers":           s.coord.WorkersStatus(),
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, gauges{
+	g := gauges{
 		queueDepth: len(s.queue), queueCap: s.cfg.QueueDepth,
 		cacheEntries: s.cache.len(), cacheCap: s.cfg.CacheEntries,
 		cacheBytes: s.cache.bytes(), cacheBytesCap: s.cfg.CacheBytes,
-	})
+	}
+	if s.coord != nil {
+		g.dist = true
+		g.workersConnected = s.coord.WorkersConnected()
+		g.leasesInflight = s.coord.LeasesInflight()
+		g.shardRetries = s.coord.RetriesTotal()
+	}
+	s.metrics.write(w, g)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -604,6 +673,31 @@ func (s *Server) workersFor(override *int) int {
 	return s.cfg.Executors
 }
 
+// runConfig assembles the scheduler configuration for one job run. Without
+// the coordinator it is the classic local shape: Acquire gates every shard
+// on the shared slot pool. With distribution enabled, shards dispatch
+// through the coordinator's lease queue instead (RunShard), the Acquire
+// gate stays nil — scheduler goroutines blocked on remote completions must
+// not hold executor slots — and the default worker count tracks the
+// connected pool so a remote fleet is actually kept busy. finish releases
+// the run's coordinator state and must be called when the run ends.
+func (s *Server) runConfig(override *int, tr *obs.Trace) (cfg core.RunConfig, finish func()) {
+	cfg = core.RunConfig{Trace: tr, ObserveShard: s.metrics.observeShard}
+	if s.coord == nil {
+		cfg.Workers = s.workersFor(override)
+		cfg.Acquire = s.acquireSlot
+		return cfg, func() {}
+	}
+	h := s.coord.StartRun(tr)
+	cfg.RunShard = h.RunShard
+	if override != nil {
+		cfg.Workers = *override
+	} else {
+		cfg.Workers = s.coord.PoolSize(s.cfg.Executors)
+	}
+	return cfg, h.Finish
+}
+
 // progressPublisher adapts core.Progress events into the job's SSE stream
 // (observing experiment latency metrics along the way). remapConfig
 // translates the scheduler's configuration index into the client's request
@@ -663,14 +757,12 @@ func (s *Server) execute(j *job) {
 	}
 
 	tr := s.newTrace()
-	runCfg := core.RunConfig{
-		Workers: s.workersFor(j.spec.Workers), Acquire: s.acquireSlot,
-		Trace: tr, ObserveShard: s.metrics.observeShard,
-	}
+	runCfg, finishRun := s.runConfig(j.spec.Workers, tr)
 	runStart := time.Now()
 	results, err := s.cfg.Runner(j.spec.IDs, j.spec.options(), runCfg,
 		s.progressPublisher(j, func(ci int) int { return ci }, 1))
 	runDur := time.Since(runStart)
+	finishRun()
 	if err == nil {
 		var payload []byte
 		marshalStart := time.Now()

@@ -182,10 +182,7 @@ func (s *Server) executeSweep(j *job) {
 					s.running.end(spec.configKey(i))
 				}
 			}
-			runCfg := core.RunConfig{
-				Workers: s.workersFor(spec.Workers), Acquire: s.acquireSlot,
-				Trace: tr, ObserveShard: s.metrics.observeShard,
-			}
+			runCfg, finishRun := s.runConfig(spec.Workers, tr)
 			// Remap the scheduler's index within the claimed subset onto
 			// the request's configuration list, so stream consumers see
 			// the indices they asked for. onConfig is serialized by the
@@ -218,6 +215,7 @@ func (s *Server) executeSweep(j *job) {
 				},
 				s.progressPublisher(j, func(ci int) int { return mine[ci] }, n))
 			runDur += time.Since(roundStart)
+			finishRun()
 			releaseMine()
 			if err == nil {
 				err = encodeErr
