@@ -1,0 +1,179 @@
+// Process-level restart durability: the actual zen2eed binary run with
+// -store-dir, killed with SIGKILL (no graceful flush beyond the store's
+// own write-time fsync), and restarted over the same directory. The
+// second process must serve the first one's computed results as cache
+// hits — 200 with cached:true, byte-identical payload — without running
+// anything. Builds the binary with the go tool, so skipped under -short.
+
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildDaemonBinary(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and execs the zen2eed binary; skipped under -short")
+	}
+	bin := filepath.Join(t.TempDir(), "zen2eed")
+	out, err := exec.Command("go", "build", "-o", bin, "zen2ee/cmd/zen2eed").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building zen2eed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary on an OS-assigned port and waits for
+// /healthz; the returned base URL is ready to use.
+func startDaemon(t *testing.T, bin, storeDir string) (*exec.Cmd, string) {
+	t.Helper()
+	addr := freeAddr(t)
+	cmd := exec.Command(bin, "-addr", addr, "-store-dir", storeDir, "-executors", "2")
+	var logs bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &logs, &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting zen2eed: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		if t.Failed() {
+			t.Logf("zen2eed output:\n%s", logs.String())
+		}
+	})
+	base := "http://" + addr
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, base
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon never became healthy at %s:\n%s", base, logs.String())
+	return nil, ""
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	// Ask the kernel for a free port, then release it for the daemon. The
+	// tiny reuse race is acceptable in tests.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("probing for a free port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+type jobStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error"`
+}
+
+func submitJob(t *testing.T, base, spec string) (jobStatus, int) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding status: %v", err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func fetch(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.StatusCode
+}
+
+func TestE2ERestartServesWarmStoreWithoutReexecution(t *testing.T) {
+	bin := buildDaemonBinary(t)
+	dir := t.TempDir()
+	const spec = `{"ids":["fig1"],"scale":0.2,"seed":11}`
+
+	// First lifetime: compute one job, read its payload, then SIGKILL.
+	d1, base1 := startDaemon(t, bin, dir)
+	st, code := submitJob(t, base1, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		body, code := fetch(t, base1+"/v1/jobs/"+st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("job status: %d (%s)", code, body)
+		}
+		var cur jobStatus
+		if err := json.Unmarshal([]byte(body), &cur); err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == "done" {
+			break
+		}
+		if cur.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %+v", cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	payload1, code := fetch(t, base1+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("first result: %d", code)
+	}
+	d1.Process.Kill()
+	d1.Wait()
+
+	// Second lifetime over the same store directory: the identical spec is
+	// a warm hit — no 202, no execution, same bytes.
+	_, base2 := startDaemon(t, bin, dir)
+	st2, code := submitJob(t, base2, spec)
+	if code != http.StatusOK {
+		t.Fatalf("restart submit: %d, want 200 (disk state must survive SIGKILL)", code)
+	}
+	if st2.State != "done" || !st2.Cached {
+		t.Fatalf("restart submit status %+v, want a cached done job", st2)
+	}
+	payload2, code := fetch(t, base2+"/v1/jobs/"+st2.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("restart result: %d", code)
+	}
+	if payload2 != payload1 {
+		t.Fatal("restarted daemon served different bytes for the same spec")
+	}
+	metricsText, _ := fetch(t, base2+"/metrics")
+	if !strings.Contains(metricsText, "zen2eed_jobs_completed_total 0") {
+		t.Errorf("restarted daemon executed a job; metrics:\n%s", metricsText)
+	}
+}

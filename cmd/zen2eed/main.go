@@ -8,6 +8,20 @@
 // Usage: zen2eed [-addr :8080] [-executors N] [-queue N] [-cache N]
 // [-cache-bytes N] [-sse-keepalive D] [-log-format text|json] [-log-level L]
 // [-trace-bytes N] [-pprof] [-listen-workers] [-lease-ttl D]
+// [-tenant-config F] [-store-dir D] [-store-bytes N]
+//
+// With -tenant-config the daemon enforces multi-tenant governance: job
+// submissions authenticate with API keys (Authorization: Bearer or
+// X-API-Key), each tenant carries token-bucket rate limits, inflight and
+// queue quotas, an optional circuit breaker, and a weighted fair share of
+// the executor slots; interactive jobs preempt bulk sweeps between
+// shards. GET /v1/tenants lists live per-tenant usage.
+//
+// With -store-dir computed results are also written through to a
+// content-addressed directory of files: entries evicted from the in-memory
+// cache (and results computed before a restart) are served from disk
+// instead of being re-simulated, and daemons sharing the directory warm
+// each other.
 //
 // With -listen-workers the daemon also acts as a distributed shard
 // coordinator: headless worker processes started with
@@ -60,6 +74,8 @@ import (
 
 	"zen2ee/internal/dist"
 	"zen2ee/internal/service"
+	"zen2ee/internal/store"
+	"zen2ee/internal/tenant"
 )
 
 // options is the parsed command line.
@@ -72,7 +88,13 @@ type options struct {
 	// coordinator at this base URL; workerName overrides its reported name.
 	worker     string
 	workerName string
-	cfg        service.Config
+	// tenantConfig is the -tenant-config JSON path; storeDir/storeBytes
+	// configure the persistent result-store tier. Loaded in main, not
+	// parseFlags, so flag validation stays free of filesystem access.
+	tenantConfig string
+	storeDir     string
+	storeBytes   int64
+	cfg          service.Config
 }
 
 // buildLogger resolves the -log-format/-log-level pair into the daemon's
@@ -122,6 +144,12 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 		"run as a headless worker for the coordinator at this base URL (http://host:port) instead of serving; -executors sets the concurrent shard slots")
 	fs.StringVar(&o.workerName, "worker-name", "",
 		"name this worker reports to the coordinator (default: hostname-pid; needs -worker)")
+	fs.StringVar(&o.tenantConfig, "tenant-config", "",
+		"JSON tenant config enabling multi-tenant governance: API-key auth on submissions, per-tenant rate limits, quotas, circuit breaking, and weighted fair scheduling (omitted = single anonymous tenant, no auth)")
+	fs.StringVar(&o.storeDir, "store-dir", "",
+		"directory for the persistent result-store tier: computed results are written through to content-addressed files and survive daemon restarts (omitted = memory-only cache)")
+	fs.Int64Var(&o.storeBytes, "store-bytes", 0,
+		"persistent store tier byte bound, evicted LRU-first past it (0 = unbounded; needs -store-dir)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -151,6 +179,15 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	}
 	if o.cfg.DistLeaseTTL > 0 && !o.cfg.Dist {
 		return o, fmt.Errorf("-lease-ttl only applies with -listen-workers")
+	}
+	if o.storeBytes < 0 {
+		return o, fmt.Errorf("-store-bytes must be >= 0 (0 means unbounded)")
+	}
+	if o.storeBytes > 0 && o.storeDir == "" {
+		return o, fmt.Errorf("-store-bytes only applies with -store-dir")
+	}
+	if o.worker != "" && (o.tenantConfig != "" || o.storeDir != "") {
+		return o, fmt.Errorf("-tenant-config and -store-dir only apply to the serving daemon, not -worker mode")
 	}
 	return o, nil
 }
@@ -229,6 +266,26 @@ func main() {
 		return
 	}
 
+	if o.tenantConfig != "" {
+		reg, err := tenant.LoadFile(o.tenantConfig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zen2eed:", err)
+			os.Exit(2)
+		}
+		o.cfg.Tenants = reg
+	}
+	if o.storeDir != "" {
+		disk, err := store.NewDisk(o.storeDir, o.storeBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zen2eed:", err)
+			os.Exit(2)
+		}
+		// The memory LRU keeps its -cache/-cache-bytes bounds as tier 1;
+		// the disk tier resurrects whatever memory evicts.
+		o.cfg.Store = store.NewTiered(
+			store.NewMemory(o.cfg.CacheEntries, o.cfg.CacheBytes), disk)
+	}
+
 	svc := service.New(o.cfg)
 	defer svc.Close()
 	httpServer := &http.Server{Addr: o.addr, Handler: withPprof(svc, o.pprof)}
@@ -246,6 +303,12 @@ func main() {
 		o.addr, o.cfg.Executors, o.cfg.QueueDepth, o.cfg.CacheEntries)
 	if o.cfg.Dist {
 		fmt.Fprintf(os.Stderr, "zen2eed: accepting workers (join with: zen2eed -worker http://HOST%s)\n", o.addr)
+	}
+	if o.cfg.Tenants != nil {
+		fmt.Fprintf(os.Stderr, "zen2eed: multi-tenant governance enabled (%d tenants)\n", len(o.cfg.Tenants.Tenants()))
+	}
+	if o.storeDir != "" {
+		fmt.Fprintf(os.Stderr, "zen2eed: persistent result store at %s\n", o.storeDir)
 	}
 	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "zen2eed:", err)

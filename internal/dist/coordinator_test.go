@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -513,6 +514,30 @@ func TestWorkersStatusAndCounters(t *testing.T) {
 	}
 	if st[1].Name != "b" || st[1].Completed != 0 {
 		t.Fatalf("worker b status = %+v", st[1])
+	}
+}
+
+func TestHandlerRejectsOversizedBody(t *testing.T) {
+	env := newTestEnv(t, Config{})
+	// A syntactically valid request whose string field runs past the cap:
+	// the decoder keeps reading until MaxBytesReader trips, and the
+	// handler must answer 413, not a generic 400.
+	body := append([]byte(`{"name":"`), bytes.Repeat([]byte("x"), maxBodyBytes)...)
+	body = append(body, '"', '}')
+	hres, err := http.Post(env.ts.URL+"/dist/v1/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST register: %v", err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized register status = %d, want %d", hres.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(hres.Body).Decode(&er); err != nil {
+		t.Fatalf("decode 413 body: %v", err)
+	}
+	if !strings.Contains(er.Error, "byte limit") {
+		t.Fatalf("413 error = %q, want it to name the byte limit", er.Error)
 	}
 }
 

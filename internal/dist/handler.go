@@ -33,6 +33,12 @@ func (c *Coordinator) Handler() http.Handler {
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeDistError(w, http.StatusRequestEntityTooLarge, "",
+				fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return false
+		}
 		writeDistError(w, http.StatusBadRequest, "", fmt.Sprintf("decoding request: %v", err))
 		return false
 	}

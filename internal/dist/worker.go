@@ -61,8 +61,14 @@ type Worker struct {
 	client *http.Client
 	log    *slog.Logger
 
+	// regMu serializes re-registration so concurrent slot loops that all
+	// hit unknown_worker (one coordinator restart expires every lease at
+	// once) rejoin as ONE worker instead of N duplicate pool entries.
+	regMu sync.Mutex
+
 	mu        sync.Mutex
 	id        string
+	gen       uint64 // bumped by every successful (re-)registration
 	heartbeat time.Duration
 }
 
@@ -154,6 +160,7 @@ func (w *Worker) register(ctx context.Context) error {
 		if err == nil {
 			w.mu.Lock()
 			w.id = resp.WorkerID
+			w.gen++
 			w.heartbeat = time.Duration(resp.HeartbeatMillis) * time.Millisecond
 			if w.heartbeat <= 0 {
 				w.heartbeat = time.Second
@@ -182,6 +189,31 @@ func (w *Worker) workerID() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.id
+}
+
+// identity snapshots the worker's current registration: the ID to present
+// and the generation it belongs to (for reregister's idempotence check).
+func (w *Worker) identity() (string, uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id, w.gen
+}
+
+// reregister rejoins the pool after the coordinator rejected the given
+// registration generation (expiry, or a coordinator restart that lost the
+// pool). Exactly one caller per generation performs the registration;
+// concurrent slot loops that observed the same stale identity return
+// immediately and pick up the new one on their next lease.
+func (w *Worker) reregister(ctx context.Context, seen uint64) error {
+	w.regMu.Lock()
+	defer w.regMu.Unlock()
+	w.mu.Lock()
+	current := w.gen
+	w.mu.Unlock()
+	if current != seen {
+		return nil // another slot loop already rejoined
+	}
+	return w.register(ctx)
 }
 
 func (w *Worker) heartbeatInterval() time.Duration {
@@ -272,18 +304,20 @@ func (w *Worker) heartbeatLoop(stop <-chan struct{}) {
 func (w *Worker) slotLoop(ctx context.Context, slot int) {
 	backoff := 100 * time.Millisecond
 	for ctx.Err() == nil {
+		id, gen := w.identity()
 		var resp leaseResponse
 		err := w.post(ctx, "/dist/v1/lease",
-			leaseRequest{WorkerID: w.workerID(), WaitMillis: 2000}, &resp)
+			leaseRequest{WorkerID: id, WaitMillis: 2000}, &resp)
 		switch {
 		case err == nil:
 			backoff = 100 * time.Millisecond
 		case ctx.Err() != nil:
 			return
 		case isCode(err, codeUnknownWorker):
-			// Expired (a stall, a coordinator restart): rejoin the pool.
+			// Expired (a stall, a coordinator restart): rejoin the pool —
+			// once, however many slot loops hit this branch together.
 			w.log.Warn("dist: lease rejected (unknown worker), re-registering")
-			if w.register(ctx) != nil {
+			if w.reregister(ctx, gen) != nil {
 				return
 			}
 			continue

@@ -2,6 +2,8 @@ package dist
 
 import (
 	"context"
+	"net"
+	"net/http"
 	"testing"
 	"time"
 )
@@ -134,6 +136,85 @@ func TestWorkerRelinquishesOnDrainTimeout(t *testing.T) {
 	}
 	if got := env.c.RetriesTotal(); got != 0 {
 		t.Fatalf("RetriesTotal = %d, want 0 (relinquish is not a fault)", got)
+	}
+}
+
+func TestWorkerSurvivesCoordinatorRestart(t *testing.T) {
+	// A real coordinator restart: the process at the address dies and a
+	// fresh one with an empty pool takes over. All four slot loops hit
+	// unknown_worker near-simultaneously; the worker must rejoin as ONE
+	// pool entry (not four duplicates) and resume executing remotely.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+
+	coordA := NewCoordinator(Config{LeaseTTL: time.Minute})
+	srvA := &http.Server{Handler: coordA.Handler()}
+	go func() { _ = srvA.Serve(ln) }()
+
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: "http://" + addr, Name: "phoenix", Slots: 4,
+		Execute: func(ts TaskSpec) (any, error) { return float64(ts.Ref.Shard) + 0.5, nil },
+	})
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		if err := w.Run(ctx); err != nil {
+			t.Errorf("worker Run: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		stop()
+		<-runDone
+	})
+	waitFor(t, "initial registration", func() bool { return coordA.WorkersConnected() == 1 })
+
+	// Kill A outright, then bind a brand-new coordinator to the same
+	// address — nothing of A's pool survives.
+	_ = srvA.Close()
+	coordA.Close()
+	var ln2 net.Listener
+	waitFor(t, "rebinding the coordinator address", func() bool {
+		ln2, err = net.Listen("tcp", addr)
+		return err == nil
+	})
+	coordB := NewCoordinator(Config{LeaseTTL: time.Minute})
+	srvB := &http.Server{Handler: coordB.Handler()}
+	go func() { _ = srvB.Serve(ln2) }()
+	t.Cleanup(func() {
+		stop()
+		<-runDone // worker deregisters against B; stop it before B dies
+		_ = srvB.Close()
+		coordB.Close()
+	})
+
+	waitFor(t, "re-registration with the restarted coordinator", func() bool {
+		return coordB.WorkersConnected() >= 1
+	})
+
+	// Remote execution resumes: run a few shards through B.
+	h := coordB.StartRun(nil)
+	defer h.Finish()
+	for shard := 0; shard < 4; shard++ {
+		o := waitOutcome(t, runShardAsync(h, shardTask(0, shard, nil)))
+		if o.err != nil || o.out != float64(shard)+0.5 || o.origin != "phoenix" {
+			t.Fatalf("shard %d outcome = %+v, want %v from phoenix", shard, o, float64(shard)+0.5)
+		}
+	}
+	// By now every slot loop has cycled through the new identity. The
+	// rejoin must have landed exactly once: duplicates would inflate both
+	// the worker count and the advertised pool width.
+	if got := coordB.WorkersConnected(); got != 1 {
+		t.Fatalf("WorkersConnected after restart = %d, want 1 (single re-registration)", got)
+	}
+	if got := coordB.PoolSize(0); got != 4 {
+		t.Fatalf("PoolSize(0) after restart = %d, want 4", got)
 	}
 }
 

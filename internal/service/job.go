@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"zen2ee/internal/core"
+	"zen2ee/internal/tenant"
 )
 
 // Spec is a job request: which experiments to run at what effort. The zero
@@ -129,6 +130,12 @@ type job struct {
 	kind  Kind
 	spec  Spec      // valid when kind == KindRun
 	sweep SweepSpec // valid when kind == KindSweep
+	// owner is the tenant that first submitted the spec (later identical
+	// submissions dedup onto the job without changing ownership); class
+	// is its scheduling priority. Both are set before the job is shared
+	// and immutable after, so they need no lock.
+	owner *tenant.Tenant
+	class tenant.Class
 
 	mu       sync.Mutex
 	state    State
@@ -268,6 +275,9 @@ type Status struct {
 	ID    string `json:"id"`
 	Kind  Kind   `json:"kind"`
 	State State  `json:"state"`
+	// Tenant names the job's owning tenant; only populated when the
+	// daemon runs with a tenant configuration.
+	Tenant string `json:"tenant,omitempty"`
 	// Spec is the canonical request of a run job; Sweep of a sweep job.
 	// Exactly one is present.
 	Spec  Spec       `json:"spec,omitzero"`

@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"zen2ee/internal/obs"
+	"zen2ee/internal/store"
+	"zen2ee/internal/tenant"
 )
 
 // metrics is the daemon's counter set. The scalar fields are guarded by mu;
@@ -36,6 +38,12 @@ type metrics struct {
 	badRequests  uint64
 	queueRejects uint64 // bounded queue was full
 	panics       uint64 // handler panics recovered by the middleware
+
+	// authRejects and tenantRejects count submissions refused by the
+	// governance layer (401s, and 429/503 admission rejections); both are
+	// zero — and their series absent — on untenanted daemons.
+	authRejects   uint64
+	tenantRejects uint64
 
 	sweepsQueued       uint64 // sweep jobs accepted onto the queue
 	sweepConfigsRun    uint64 // sweep configurations that simulated
@@ -101,6 +109,14 @@ type gauges struct {
 	// byte-identical to pre-distribution builds.
 	dist                                           bool
 	workersConnected, leasesInflight, shardRetries int
+	// disk gates the persistent-tier series the same way: only daemons
+	// started with -store-dir emit them.
+	disk      bool
+	diskStats store.DiskStats
+	// tenancy gates the per-tenant series; tenants is the registry's
+	// usage snapshot, sorted by name for stable label order.
+	tenancy bool
+	tenants []tenant.Usage
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -162,6 +178,53 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		gauge("zen2eed_workers_connected", "Remote workers registered with the shard coordinator and inside their liveness TTL.", float64(g.workersConnected))
 		gauge("zen2eed_shard_leases_inflight", "Shard leases currently held by remote workers.", float64(g.leasesInflight))
 		counter("zen2eed_shard_retries_total", "Shard leases lost to worker expiry and re-queued for retry.", uint64(g.shardRetries))
+	}
+	if g.disk {
+		gauge("zen2eed_store_disk_entries", "Result payloads resident in the persistent store tier.", float64(g.diskStats.Entries))
+		gauge("zen2eed_store_disk_bytes", "Summed payload size of the persistent store tier.", float64(g.diskStats.Bytes))
+		gauge("zen2eed_store_disk_capacity_bytes", "Persistent store tier byte bound (0 = unbounded).", float64(g.diskStats.CapacityBytes))
+		counter("zen2eed_store_disk_hits_total", "Memory-tier misses served from the persistent store tier.", g.diskStats.Hits)
+		counter("zen2eed_store_disk_misses_total", "Store reads that missed both tiers and required a simulation.", g.diskStats.Misses)
+		counter("zen2eed_store_disk_evictions_total", "Objects evicted from the persistent store tier by its byte bound.", g.diskStats.Evictions)
+		counter("zen2eed_store_disk_errors_total", "Persistent store tier I/O failures (writes lost, index entries dropped).", g.diskStats.Errors)
+	}
+	if g.tenancy {
+		counter("zen2eed_auth_rejections_total", "Submissions rejected for a missing or unknown API key.", m.authRejects)
+		counter("zen2eed_tenant_rejections_total", "Submissions rejected by tenant admission (rate limit, quota, or circuit breaker).", m.tenantRejects)
+		labeledGauge := func(name, help string, value func(tenant.Usage) float64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, u := range g.tenants {
+				fmt.Fprintf(w, "%s{tenant=%q} %s\n", name, u.Name, formatFloat(value(u)))
+			}
+		}
+		labeledCounter := func(name, help string, value func(tenant.Usage) uint64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, u := range g.tenants {
+				fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, u.Name, value(u))
+			}
+		}
+		labeledGauge("zen2eed_tenant_jobs_queued", "Jobs a tenant has waiting on the run queue.",
+			func(u tenant.Usage) float64 { return float64(u.Queued) })
+		labeledGauge("zen2eed_tenant_jobs_running", "Jobs a tenant has executing.",
+			func(u tenant.Usage) float64 { return float64(u.Running) })
+		labeledCounter("zen2eed_tenant_admitted_total", "Submissions a tenant passed through admission.",
+			func(u tenant.Usage) uint64 { return u.Admitted })
+		// Rejection reasons are a fixed vocabulary so the label set is
+		// byte-stable across scrapes even while counts are zero.
+		fmt.Fprintf(w, "# HELP zen2eed_tenant_rejected_total Tenant submissions rejected at admission, by reason.\n# TYPE zen2eed_tenant_rejected_total counter\n")
+		for _, u := range g.tenants {
+			for _, reason := range []string{"breaker", "quota", "rate"} {
+				fmt.Fprintf(w, "zen2eed_tenant_rejected_total{tenant=%q,reason=%q} %d\n",
+					u.Name, reason, u.Rejected[reason])
+			}
+		}
+		labeledGauge("zen2eed_tenant_breaker_open", "1 while a tenant's circuit breaker is shedding load.",
+			func(u tenant.Usage) float64 {
+				if u.BreakerState == "open" {
+					return 1
+				}
+				return 0
+			})
 	}
 
 	histogram("zen2eed_shard_run_seconds", "Execution wall time of individual shard tasks.")

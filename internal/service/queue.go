@@ -1,0 +1,72 @@
+// The bounded priority job queue. The daemon used to queue jobs on a
+// plain channel, which is strictly FIFO: one tenant's burst of bulk
+// sweeps would hold every executor dispatcher while interactive jobs
+// waited at the back. The queue now holds two FIFO lanes — interactive
+// ahead of bulk — so an interactive submission overtakes queued bulk work
+// at dispatch time, complementing the shard-level gate that preempts bulk
+// jobs already running. Capacity and the 503-on-full contract are
+// unchanged from the channel it replaces.
+
+package service
+
+import (
+	"sync"
+
+	"zen2ee/internal/tenant"
+)
+
+// jobQueue is the bounded two-lane job queue.
+type jobQueue struct {
+	mu          sync.Mutex
+	capacity    int
+	interactive []*job
+	bulk        []*job
+	// notify carries one token per queued job, so executors block on a
+	// channel (selectable against quit) while pop order stays priority-
+	// aware: tokens say "a job is available", the lanes say which.
+	notify chan struct{}
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	return &jobQueue{capacity: capacity, notify: make(chan struct{}, capacity)}
+}
+
+// push enqueues a job in its class lane; false means the queue is full.
+func (q *jobQueue) push(j *job) bool {
+	q.mu.Lock()
+	if len(q.interactive)+len(q.bulk) >= q.capacity {
+		q.mu.Unlock()
+		return false
+	}
+	if j.class == tenant.ClassInteractive {
+		q.interactive = append(q.interactive, j)
+	} else {
+		q.bulk = append(q.bulk, j)
+	}
+	q.mu.Unlock()
+	q.notify <- struct{}{} // never blocks: one token per held slot
+	return true
+}
+
+// pop dequeues the next job: interactive lane first, FIFO within a lane.
+// Callers must have consumed one notify token first, which guarantees a
+// job is present.
+func (q *jobQueue) pop() *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.interactive) > 0 {
+		j := q.interactive[0]
+		q.interactive = q.interactive[1:]
+		return j
+	}
+	j := q.bulk[0]
+	q.bulk = q.bulk[1:]
+	return j
+}
+
+// len reports queued jobs (the zen2eed_queue_depth gauge).
+func (q *jobQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.interactive) + len(q.bulk)
+}

@@ -36,6 +36,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -46,6 +47,8 @@ import (
 	"zen2ee/internal/dist"
 	"zen2ee/internal/obs"
 	"zen2ee/internal/report"
+	"zen2ee/internal/store"
+	"zen2ee/internal/tenant"
 )
 
 // Runner executes a job's experiment set; it is core.RunIDsConfig in
@@ -113,6 +116,18 @@ type Config struct {
 	// 3). Both only matter when Dist is set.
 	DistLeaseTTL   time.Duration
 	DistMaxRetries int
+	// Tenants enables multi-tenant governance: API-key authentication on
+	// submissions, per-tenant rate limits, quotas and circuit breaking at
+	// admission, weighted fair queueing across the executor slots, and
+	// the GET /v1/tenants listing. Nil (the default) preserves the
+	// pre-tenancy daemon exactly: no auth required, a single unlimited
+	// built-in tenant, no tenant metric series.
+	Tenants *tenant.Registry
+	// Store overrides the content-addressed result store. Nil builds the
+	// in-memory LRU from CacheEntries/CacheBytes; cmd/zen2eed installs a
+	// memory-over-disk tiered store when started with -store-dir, which
+	// survives restarts and resurrects memory-evicted results.
+	Store store.ResultStore
 	// Runner overrides the experiment runner (tests); nil means core.RunIDs.
 	Runner Runner
 	// SweepRunner overrides the sweep runner (tests); nil means
@@ -142,6 +157,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceBytes == 0 {
 		c.TraceBytes = obs.DefaultLimitBytes
 	}
+	if c.Store == nil {
+		c.Store = store.NewMemory(c.CacheEntries, c.CacheBytes)
+	}
 	if c.Runner == nil {
 		c.Runner = core.RunIDsConfig
 	}
@@ -160,18 +178,30 @@ type Server struct {
 	// ServeHTTP dispatches through it.
 	handler http.Handler
 	log     *slog.Logger
-	queue   chan *job
-	cache   *resultCache
-	metrics *metrics
+	queue   *jobQueue
+	// cache is the content-addressed result store: the in-memory LRU by
+	// default, memory-over-disk when the daemon runs with -store-dir.
+	cache store.ResultStore
+	// diskTier is the cache's persistent tier when one exists; nil
+	// otherwise. Only metrics read it (the tiered store handles
+	// fallthrough itself).
+	diskTier *store.Disk
+	metrics  *metrics
 	// running is the per-configuration singleflight: executors claim each
 	// configuration before simulating it, so a sweep and a single job (or
 	// two overlapping sweeps) covering the same configuration under
 	// different job addresses still run it exactly once.
 	running *inflight
-	// slots is the shared executor pool: every shard of every running job
+	// gate is the shared executor pool: every shard of every running job
 	// holds one slot while it executes, so Executors bounds the daemon's
-	// total simulation concurrency at shard granularity.
-	slots chan struct{}
+	// total simulation concurrency at shard granularity. The gate grants
+	// slots fairly across tenants (weighted, interactive class first);
+	// with a single tenant it degrades to the plain semaphore it replaced.
+	gate *tenant.Gate
+	// tenants is the API-key registry; nil means tenancy is disabled and
+	// every request maps to fallback.
+	tenants  *tenant.Registry
+	fallback *tenant.Tenant
 	// coord is the distributed shard coordinator; nil unless Config.Dist.
 	// When set, jobs dispatch shards through its lease queue and remote
 	// workers execute them — local fallback re-enters the slots pool
@@ -192,16 +222,21 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		log:     cfg.Logger,
-		queue:   make(chan *job, cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheEntries, cfg.CacheBytes),
-		metrics: newMetrics(),
-		running: newInflight(),
-		slots:   make(chan struct{}, cfg.Executors),
-		jobs:    map[string]*job{},
-		quit:    make(chan struct{}),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		log:      cfg.Logger,
+		queue:    newJobQueue(cfg.QueueDepth),
+		cache:    cfg.Store,
+		metrics:  newMetrics(),
+		running:  newInflight(),
+		gate:     tenant.NewGate(cfg.Executors),
+		tenants:  cfg.Tenants,
+		fallback: tenant.Unlimited("default"),
+		jobs:     map[string]*job{},
+		quit:     make(chan struct{}),
+	}
+	if tiered, ok := cfg.Store.(*store.Tiered); ok {
+		s.diskTier = tiered.DiskTier()
 	}
 	if cfg.Dist {
 		s.coord = dist.NewCoordinator(dist.Config{
@@ -219,6 +254,7 @@ func New(cfg Config) *Server {
 		s.mux.Handle("/dist/v1/", s.coord.Handler())
 	}
 	s.mux.HandleFunc("GET /v1/workers", s.handleWorkers)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
@@ -258,11 +294,18 @@ func (s *Server) Close() {
 		close(s.quit)
 	})
 	s.wg.Wait()
+	// Closed after the executors drain: a disk-tier store must not lose
+	// the payload of a job that just finished.
+	_ = s.cache.Close()
 }
 
 // --- Submission and the singleflight path ---
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn := s.authenticate(w, r)
+	if tn == nil {
+		return
+	}
 	var spec Spec
 	if !decodeSpec(w, r, &spec, "job", s.metrics) {
 		return
@@ -273,10 +316,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
-	s.admit(w, func() *job { return newJob(spec) }, spec.key())
+	s.admit(w, func() *job { return newJob(spec) }, spec.key(), tn, tn.ClassFor(false))
 }
 
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	tn := s.authenticate(w, r)
+	if tn == nil {
+		return
+	}
 	var spec SweepSpec
 	if !decodeSpec(w, r, &spec, "sweep", s.metrics) {
 		return
@@ -287,16 +334,28 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid sweep spec: %v", err)
 		return
 	}
-	s.admit(w, func() *job { return newSweepJob(spec) }, spec.key())
+	s.admit(w, func() *job { return newSweepJob(spec) }, spec.key(), tn, tn.ClassFor(true))
 }
 
+// maxSpecBytes bounds submission request bodies; a spec larger than this
+// is unrepresentable (even maxSweepConfigs explicit configurations fit).
+const maxSpecBytes = 1 << 20
+
 // decodeSpec reads a bounded, strictly-validated JSON request body; label
-// names the spec shape ("job", "sweep") in error responses.
+// names the spec shape ("job", "sweep") in error responses. A body over
+// the byte bound is 413, not 400 — the client's framing is fine, the
+// payload is just oversized.
 func decodeSpec(w http.ResponseWriter, r *http.Request, into any, label string, m *metrics) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		m.add(&m.badRequests, 1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"%s spec exceeds the %d-byte request limit", label, tooLarge.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "invalid %s spec: %v", label, err)
 		return false
 	}
@@ -305,9 +364,13 @@ func decodeSpec(w http.ResponseWriter, r *http.Request, into any, label string, 
 
 // admit is the shared admission path for run and sweep submissions:
 // singleflight onto an identical live or finished job, materialization
-// from the content-addressed cache, then the bounded queue. build
-// constructs the job only when one is actually needed.
-func (s *Server) admit(w http.ResponseWriter, build func() *job, key string) {
+// from the content-addressed store, tenant admission (rate, quota,
+// breaker), then the bounded queue. build constructs the job only when
+// one is actually needed. Tenant checks run after the dedup and cache
+// probes deliberately — a request another tenant's identical job already
+// answers adds no load, so rejecting it would only punish cache locality;
+// what quotas and rates govern is admission to the run queue.
+func (s *Server) admit(w http.ResponseWriter, build func() *job, key string, tn *tenant.Tenant, class tenant.Class) {
 	s.mu.Lock()
 	if j, ok := s.jobs[key]; ok && j.currentState() != StateFailed && !s.sweepEvicted(j) {
 		// Singleflight: an identical job already exists. A finished job is
@@ -321,10 +384,11 @@ func (s *Server) admit(w http.ResponseWriter, build func() *job, key string) {
 		writeJSON(w, http.StatusOK, s.statusOf(j, true))
 		return
 	}
-	if payload, ok := s.cache.get(key); ok {
+	if payload, ok := s.cache.Get(key); ok {
 		// The job record was evicted but the payload survived: materialize
-		// a completed job from the cache without running anything.
+		// a completed job from the store without running anything.
 		j := build()
+		j.owner, j.class = tn, class
 		j.completeFromCache(payload)
 		s.insertLocked(j)
 		s.metrics.add(&s.metrics.cacheHits, 1)
@@ -332,16 +396,23 @@ func (s *Server) admit(w http.ResponseWriter, build func() *job, key string) {
 		writeJSON(w, http.StatusOK, s.statusOf(j, true))
 		return
 	}
+	if rej := tn.Admit(); rej != nil {
+		s.mu.Unlock()
+		s.metrics.add(&s.metrics.tenantRejects, 1)
+		s.log.Warn("submission rejected", "tenant", tn.Name(), "reason", rej.Reason)
+		writeRejection(w, rej)
+		return
+	}
 	j := build()
-	select {
-	case s.queue <- j:
-	default:
+	j.owner, j.class = tn, class
+	if !s.queue.push(j) {
 		s.mu.Unlock()
 		s.metrics.add(&s.metrics.queueRejects, 1)
 		writeError(w, http.StatusServiceUnavailable,
 			"job queue full (%d waiting); retry later", s.cfg.QueueDepth)
 		return
 	}
+	tn.JobQueued()
 	s.insertLocked(j)
 	s.metrics.add(&s.metrics.cacheMisses, 1)
 	s.metrics.add(&s.metrics.jobsQueued, 1)
@@ -349,8 +420,9 @@ func (s *Server) admit(w http.ResponseWriter, build func() *job, key string) {
 		s.metrics.add(&s.metrics.sweepsQueued, 1)
 	}
 	s.mu.Unlock()
-	s.log.Info("job queued", "job", shortID(j.id), "kind", j.kind, "queue_depth", len(s.queue))
-	writeJSON(w, http.StatusAccepted, j.status(false))
+	s.log.Info("job queued", "job", shortID(j.id), "kind", j.kind,
+		"tenant", tn.Name(), "class", class, "queue_depth", s.queue.len())
+	writeJSON(w, http.StatusAccepted, s.statusOf(j, false))
 }
 
 // insertLocked records a job and evicts the oldest finished jobs beyond
@@ -402,7 +474,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	out := make([]Status, 0, len(s.jobOrder))
 	for i := len(s.jobOrder) - 1; i >= 0; i-- {
 		if j, ok := s.jobs[s.jobOrder[i]]; ok {
-			out = append(out, j.status(false))
+			out = append(out, s.statusOf(j, false))
 		}
 	}
 	s.mu.Unlock()
@@ -424,6 +496,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // section has been evicted.
 func (s *Server) statusOf(j *job, includeResults bool) Status {
 	st := j.status(includeResults)
+	if s.tenants != nil && j.owner != nil {
+		// Attribution only when tenancy is on: untenanted daemons keep the
+		// exact pre-tenancy wire shape.
+		st.Tenant = j.owner.Name()
+	}
 	if includeResults && j.kind == KindSweep && st.State == StateDone && len(st.Results) == 0 {
 		if doc, err := s.assembleSweep(j.sweep); err == nil {
 			st.Results = doc
@@ -587,15 +664,23 @@ func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	g := gauges{
-		queueDepth: len(s.queue), queueCap: s.cfg.QueueDepth,
-		cacheEntries: s.cache.len(), cacheCap: s.cfg.CacheEntries,
-		cacheBytes: s.cache.bytes(), cacheBytesCap: s.cfg.CacheBytes,
+		queueDepth: s.queue.len(), queueCap: s.cfg.QueueDepth,
+		cacheEntries: s.cache.Len(), cacheCap: s.cfg.CacheEntries,
+		cacheBytes: s.cache.Bytes(), cacheBytesCap: s.cfg.CacheBytes,
 	}
 	if s.coord != nil {
 		g.dist = true
 		g.workersConnected = s.coord.WorkersConnected()
 		g.leasesInflight = s.coord.LeasesInflight()
 		g.shardRetries = s.coord.RetriesTotal()
+	}
+	if s.diskTier != nil {
+		g.disk = true
+		g.diskStats = s.diskTier.Stats()
+	}
+	if s.tenants != nil {
+		g.tenancy = true
+		g.tenants = s.tenantUsages()
 	}
 	s.metrics.write(w, g)
 }
@@ -612,10 +697,12 @@ func (s *Server) executor() {
 		select {
 		case <-s.quit:
 			return
-		case j := <-s.queue:
+		case <-s.queue.notify:
+			j := s.queue.pop()
+			j.owner.JobStarted()
 			j.setRunning()
 			s.metrics.addRunning(1)
-			s.log.Info("job started", "job", shortID(j.id), "kind", j.kind)
+			s.log.Info("job started", "job", shortID(j.id), "kind", j.kind, "tenant", j.owner.Name())
 			switch j.kind {
 			case KindSweep:
 				s.executeSweep(j)
@@ -623,6 +710,9 @@ func (s *Server) executor() {
 				s.execute(j)
 			}
 			s.metrics.addRunning(-1)
+			// The owner's breaker sees every terminal outcome, including
+			// completions served from another executor's cache entry.
+			j.owner.JobFinished(j.currentState() == StateFailed)
 		}
 	}
 }
@@ -655,11 +745,12 @@ type terminalEvent struct {
 }
 
 // acquireSlot blocks until one of the daemon's shared executor slots is
-// free and returns its release. The core scheduler calls it around every
-// shard execution.
+// free and returns its release — the tenant-less entry point used by the
+// distributed coordinator's local fallback, which runs shards reclaimed
+// from lost workers. Fallback work bills the built-in tenant at bulk
+// priority so it never preempts interactive traffic.
 func (s *Server) acquireSlot() func() {
-	s.slots <- struct{}{}
-	return func() { <-s.slots }
+	return s.gate.Acquire(s.fallback, tenant.ClassBulk)
 }
 
 // workersFor resolves a job-level worker override: the scheduler spawns
@@ -675,17 +766,21 @@ func (s *Server) workersFor(override *int) int {
 
 // runConfig assembles the scheduler configuration for one job run. Without
 // the coordinator it is the classic local shape: Acquire gates every shard
-// on the shared slot pool. With distribution enabled, shards dispatch
-// through the coordinator's lease queue instead (RunShard), the Acquire
-// gate stays nil — scheduler goroutines blocked on remote completions must
-// not hold executor slots — and the default worker count tracks the
-// connected pool so a remote fleet is actually kept busy. finish releases
-// the run's coordinator state and must be called when the run ends.
-func (s *Server) runConfig(override *int, tr *obs.Trace) (cfg core.RunConfig, finish func()) {
+// on the shared slot pool, billed to the job's tenant at its priority
+// class — which is where weighted fair queueing and interactive-over-bulk
+// preemption actually happen, since the scheduler re-enters Acquire
+// between shards. With distribution enabled, shards dispatch through the
+// coordinator's lease queue instead (RunShard), the Acquire gate stays
+// nil — scheduler goroutines blocked on remote completions must not hold
+// executor slots, so tenant fairness governs only the local execution
+// path — and the default worker count tracks the connected pool so a
+// remote fleet is actually kept busy. finish releases the run's
+// coordinator state and must be called when the run ends.
+func (s *Server) runConfig(j *job, override *int, tr *obs.Trace) (cfg core.RunConfig, finish func()) {
 	cfg = core.RunConfig{Trace: tr, ObserveShard: s.metrics.observeShard}
 	if s.coord == nil {
 		cfg.Workers = s.workersFor(override)
-		cfg.Acquire = s.acquireSlot
+		cfg.Acquire = s.gate.AcquireFunc(j.owner, j.class)
 		return cfg, func() {}
 	}
 	h := s.coord.StartRun(tr)
@@ -738,7 +833,7 @@ func (s *Server) execute(j *job) {
 			break
 		}
 		<-wait
-		if payload, ok := s.cache.get(j.id); ok {
+		if payload, ok := s.cache.Get(j.id); ok {
 			j.setDoneCached(payload)
 			s.metrics.add(&s.metrics.cacheHits, 1)
 			s.metrics.add(&s.metrics.jobsDone, 1)
@@ -747,7 +842,7 @@ func (s *Server) execute(j *job) {
 		// The holder failed; retry the claim and run it ourselves.
 	}
 	defer s.running.end(j.id)
-	if payload, ok := s.cache.get(j.id); ok {
+	if payload, ok := s.cache.Get(j.id); ok {
 		// Double-check after claiming: the previous holder may have
 		// finished between our admission-time probe and now.
 		j.setDoneCached(payload)
@@ -757,7 +852,7 @@ func (s *Server) execute(j *job) {
 	}
 
 	tr := s.newTrace()
-	runCfg, finishRun := s.runConfig(j.spec.Workers, tr)
+	runCfg, finishRun := s.runConfig(j, j.spec.Workers, tr)
 	runStart := time.Now()
 	results, err := s.cfg.Runner(j.spec.IDs, j.spec.options(), runCfg,
 		s.progressPublisher(j, func(ci int) int { return ci }, 1))
@@ -773,11 +868,11 @@ func (s *Server) execute(j *job) {
 		if err == nil {
 			j.setLatency(runDur, marshalDur)
 			s.storeTrace(j, tr)
-			s.cache.put(j.id, payload)
+			s.cache.Put(j.id, payload)
 			j.setDone(payload)
 			s.metrics.add(&s.metrics.jobsDone, 1)
 			s.log.Info("job done", "job", shortID(j.id), "kind", j.kind,
-				"run", runDur, "marshal", marshalDur)
+				"tenant", j.owner.Name(), "run", runDur, "marshal", marshalDur)
 			return
 		}
 		err = fmt.Errorf("encoding results: %w", err)
@@ -786,7 +881,8 @@ func (s *Server) execute(j *job) {
 	s.storeTrace(j, tr)
 	j.setFailed(err)
 	s.metrics.add(&s.metrics.jobsFailed, 1)
-	s.log.Error("job failed", "job", shortID(j.id), "kind", j.kind, "error", err)
+	s.log.Error("job failed", "job", shortID(j.id), "kind", j.kind,
+		"tenant", j.owner.Name(), "error", err)
 }
 
 // newTrace builds the per-job execution trace recorder; nil (the disabled

@@ -644,75 +644,9 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
-func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2, 0)
-	c.put("a", []byte("A"))
-	c.put("b", []byte("B"))
-	if _, ok := c.get("a"); !ok { // refresh a
-		t.Fatal("a missing")
-	}
-	c.put("c", []byte("C")) // evicts b (least recently used)
-	if _, ok := c.get("b"); ok {
-		t.Fatal("b survived past capacity")
-	}
-	for key, want := range map[string]string{"a": "A", "c": "C"} {
-		got, ok := c.get(key)
-		if !ok || string(got) != want {
-			t.Fatalf("%s: got %q ok=%v", key, got, ok)
-		}
-	}
-	if c.len() != 2 {
-		t.Fatalf("len %d, want 2", c.len())
-	}
-}
-
-// TestResultCacheByteBound: entries are weighted by payload size against
-// the byte bound, replacement adjusts the accounting, eviction is
-// LRU-first, and a single payload larger than the whole bound is kept
-// alone rather than rejected.
-func TestResultCacheByteBound(t *testing.T) {
-	pay := func(n int) []byte { return bytes.Repeat([]byte("x"), n) }
-	c := newResultCache(100, 10)
-
-	c.put("a", pay(4))
-	c.put("b", pay(4))
-	if c.len() != 2 || c.bytes() != 8 {
-		t.Fatalf("after two puts: len %d bytes %d, want 2/8", c.len(), c.bytes())
-	}
-	c.put("c", pay(4)) // 12 > 10: evicts a, the least recently used
-	if _, ok := c.get("a"); ok {
-		t.Fatal("a survived past the byte bound")
-	}
-	if c.len() != 2 || c.bytes() != 8 {
-		t.Fatalf("after byte eviction: len %d bytes %d, want 2/8", c.len(), c.bytes())
-	}
-
-	// Replacement adjusts the accounting by the size delta, not the sum.
-	c.put("b", pay(6))
-	if c.len() != 2 || c.bytes() != 10 {
-		t.Fatalf("after replacement: len %d bytes %d, want 2/10", c.len(), c.bytes())
-	}
-
-	// get refreshes recency, so the next eviction victim is b, not c.
-	c.get("c")
-	c.put("d", pay(4)) // 14 > 10: evicts b (6 bytes), leaving d+c at 8
-	if _, ok := c.get("b"); ok {
-		t.Fatal("b survived though c was touched more recently")
-	}
-	if c.bytes() != 8 {
-		t.Fatalf("after LRU byte eviction: bytes %d, want 8", c.bytes())
-	}
-
-	// An oversize payload evicts everything else but is itself kept: the
-	// bound sheds accumulation, it never refuses the just-computed result.
-	c.put("big", pay(64))
-	if c.len() != 1 || c.bytes() != 64 {
-		t.Fatalf("oversize entry: len %d bytes %d, want 1/64", c.len(), c.bytes())
-	}
-	if _, ok := c.get("big"); !ok {
-		t.Fatal("oversize payload was refused by the byte bound")
-	}
-}
+// The result-cache LRU and byte-bound behaviors are covered in
+// internal/store (TestMemoryLRU, TestMemoryByteBound), where the cache
+// now lives.
 
 func TestJobHistoryEvictionFallsBackToCache(t *testing.T) {
 	// With a tiny job table, an old finished job's record is evicted, but

@@ -161,7 +161,7 @@ func (s *Server) executeSweep(j *job) {
 				waits = append(waits, wait)
 				continue
 			}
-			if _, ok := s.cache.get(spec.configKey(i)); ok {
+			if _, ok := s.cache.Get(spec.configKey(i)); ok {
 				s.running.end(spec.configKey(i))
 				done[i], cached[i] = true, true
 				s.metrics.add(&s.metrics.sweepConfigsCached, 1)
@@ -182,7 +182,7 @@ func (s *Server) executeSweep(j *job) {
 					s.running.end(spec.configKey(i))
 				}
 			}
-			runCfg, finishRun := s.runConfig(spec.Workers, tr)
+			runCfg, finishRun := s.runConfig(j, spec.Workers, tr)
 			// Remap the scheduler's index within the claimed subset onto
 			// the request's configuration list, so stream consumers see
 			// the indices they asked for. onConfig is serialized by the
@@ -206,7 +206,7 @@ func (s *Server) executeSweep(j *job) {
 						}
 						return
 					}
-					s.cache.put(spec.configKey(i), payload)
+					s.cache.Put(spec.configKey(i), payload)
 					done[i] = true
 					s.metrics.add(&s.metrics.sweepConfigsRun, 1)
 					j.publish("config-done", configCachedEvent{Config: i, Configs: n})
@@ -233,7 +233,8 @@ func (s *Server) executeSweep(j *job) {
 				s.storeTrace(j, tr)
 				j.setFailed(err)
 				s.metrics.add(&s.metrics.jobsFailed, 1)
-				s.log.Error("job failed", "job", shortID(j.id), "kind", j.kind, "error", err)
+				s.log.Error("job failed", "job", shortID(j.id), "kind", j.kind,
+					"tenant", j.owner.Name(), "error", err)
 				return
 			}
 		}
@@ -257,7 +258,7 @@ func (s *Server) executeSweep(j *job) {
 	j.setDone(nil)
 	s.metrics.add(&s.metrics.jobsDone, 1)
 	s.log.Info("job done", "job", shortID(j.id), "kind", j.kind,
-		"run", runDur, "marshal", marshalDur)
+		"tenant", j.owner.Name(), "run", runDur, "marshal", marshalDur)
 }
 
 // sweepSections collects a sweep's per-configuration payloads from the
@@ -266,7 +267,7 @@ func (s *Server) executeSweep(j *job) {
 func (s *Server) sweepSections(spec SweepSpec) ([][]byte, error) {
 	sections := make([][]byte, len(spec.Configs))
 	for i, c := range spec.Configs {
-		p, ok := s.cache.get(spec.configKey(i))
+		p, ok := s.cache.Get(spec.configKey(i))
 		if !ok {
 			return nil, fmt.Errorf("config %d (scale %g, seed %d) evicted", i, c.Scale, c.Seed)
 		}
@@ -295,7 +296,7 @@ func (s *Server) sweepEvicted(j *job) bool {
 		return false
 	}
 	for i := range j.sweep.Configs {
-		if _, ok := s.cache.get(j.sweep.configKey(i)); !ok {
+		if _, ok := s.cache.Get(j.sweep.configKey(i)); !ok {
 			return true
 		}
 	}

@@ -504,7 +504,7 @@ func TestSweepServedByAssembly(t *testing.T) {
 	if payload, _, _ := j.result(); payload != nil {
 		t.Error("done sweep job holds a whole-document payload; it must be assembled on demand")
 	}
-	if _, ok := s.cache.get(st.ID); ok {
+	if _, ok := s.cache.Get(st.ID); ok {
 		t.Error("assembled sweep document cached under the job id (double-buffering)")
 	}
 
@@ -512,7 +512,7 @@ func TestSweepServedByAssembly(t *testing.T) {
 	// per-config cache entries.
 	sections := make([][]byte, len(j.sweep.Configs))
 	for i := range j.sweep.Configs {
-		p, ok := s.cache.get(j.sweep.configKey(i))
+		p, ok := s.cache.Get(j.sweep.configKey(i))
 		if !ok {
 			t.Fatalf("config %d missing from the per-config cache", i)
 		}
@@ -574,7 +574,7 @@ func TestSweepServedByAssembly(t *testing.T) {
 
 	// The byte-weighted cache gauge reflects the cached sections.
 	metricsText, _ := getBody(t, ts.URL+"/metrics")
-	if want := fmt.Sprintf("zen2eed_cache_bytes %d", s.cache.bytes()); !strings.Contains(metricsText, want) {
+	if want := fmt.Sprintf("zen2eed_cache_bytes %d", s.cache.Bytes()); !strings.Contains(metricsText, want) {
 		t.Errorf("metrics missing %q", want)
 	}
 }

@@ -1,0 +1,303 @@
+// The disk tier: a content-addressed object store under one directory.
+//
+// Layout (documented in the README, stable across versions):
+//
+//	<dir>/objects/<key[:2]>/<key>   one file per payload, named by its
+//	                                full content address
+//	<dir>/tmp/                      in-flight writes (cleaned at open)
+//
+// Writes are crash-safe by construction: the payload lands in tmp/, is
+// fsync'd, and is renamed into place — a reader (this daemon after a
+// restart, or another daemon sharing the directory) only ever sees whole
+// objects. Because keys are content addresses, concurrent writers racing
+// on one key write identical bytes, so last-rename-wins is harmless.
+//
+// The store keeps an in-memory recency index (rebuilt from file mtimes at
+// open, so LRU order approximately survives restarts) and evicts
+// least-recently-used objects once the summed payload size exceeds the
+// byte bound. Externally removed files degrade to misses, and externally
+// added files are adopted on first Get — sharing a directory between
+// daemons needs no coordination beyond the filesystem.
+
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Disk is the persistent content-addressed result store (tier 2).
+type Disk struct {
+	dir      string
+	maxBytes int64 // 0 = no byte bound
+
+	mu       sync.Mutex
+	curBytes int64
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions, errors uint64
+}
+
+type diskEntry struct {
+	key  string
+	size int64
+}
+
+// NewDisk opens (creating if needed) the store rooted at dir, bounded to
+// maxBytes of summed payload when maxBytes > 0. Leftover temp files from
+// interrupted writes are removed, and the recency index is rebuilt from
+// the resident objects' mtimes so eviction order carries across restarts.
+func NewDisk(dir string, maxBytes int64) (*Disk, error) {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	for _, sub := range []string{objectsDir(dir), tmpDir(dir)} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", sub, err)
+		}
+	}
+	d := &Disk{dir: dir, maxBytes: maxBytes, order: list.New(), items: map[string]*list.Element{}}
+	if err := d.scan(); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.evictLocked("")
+	d.mu.Unlock()
+	return d, nil
+}
+
+func objectsDir(dir string) string { return filepath.Join(dir, "objects") }
+func tmpDir(dir string) string     { return filepath.Join(dir, "tmp") }
+
+func (d *Disk) path(key string) string {
+	return filepath.Join(objectsDir(d.dir), key[:2], key)
+}
+
+// validKey reports whether key is a full content address — lowercase hex,
+// long enough to shard by its first byte. Anything else never touches the
+// filesystem (the store's keys double as file names, so this is also the
+// path-traversal guard).
+func validKey(key string) bool {
+	if len(key) < 16 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// scan rebuilds the index from the resident objects, oldest mtime first so
+// the LRU order survives the restart, and clears interrupted temp writes.
+func (d *Disk) scan() error {
+	if entries, err := os.ReadDir(tmpDir(d.dir)); err == nil {
+		for _, e := range entries {
+			_ = os.Remove(filepath.Join(tmpDir(d.dir), e.Name()))
+		}
+	}
+	type found struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var objs []found
+	err := filepath.WalkDir(objectsDir(d.dir), func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return err
+		}
+		key := de.Name()
+		if !validKey(key) {
+			return nil // foreign file; leave it alone
+		}
+		info, err := de.Info()
+		if err != nil {
+			return nil // raced an external removal
+		}
+		objs = append(objs, found{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", objectsDir(d.dir), err)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].mtime < objs[j].mtime })
+	for _, o := range objs {
+		d.items[o.key] = d.order.PushFront(&diskEntry{key: o.key, size: o.size})
+		d.curBytes += o.size
+	}
+	return nil
+}
+
+// Get reads the payload stored under key. An indexed entry whose file has
+// vanished (an external cleanup, a sharing daemon's eviction) degrades to
+// a miss; an unindexed file that exists (a sharing daemon's write) is
+// adopted into the index.
+func (d *Disk) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	el, indexed := d.items[key]
+	payload, err := os.ReadFile(d.path(key))
+	if err != nil {
+		if indexed {
+			// The file is gone out from under the index: drop the entry.
+			d.dropLocked(el)
+			d.errors++
+		}
+		d.misses++
+		return nil, false
+	}
+	if indexed {
+		e := el.Value.(*diskEntry)
+		d.curBytes += int64(len(payload)) - e.size
+		e.size = int64(len(payload))
+		d.order.MoveToFront(el)
+	} else {
+		d.items[key] = d.order.PushFront(&diskEntry{key: key, size: int64(len(payload))})
+		d.curBytes += int64(len(payload))
+		d.evictLocked(key)
+	}
+	d.hits++
+	return payload, true
+}
+
+// Put durably stores a payload: temp file, fsync, rename into place. An
+// entry already resident is only touched for recency — payloads are
+// immutable per key, so rewriting identical bytes would be wasted I/O.
+// Write failures (full disk, permissions) are counted and swallowed: the
+// disk tier is an accelerator, and losing it must not fail the job that
+// produced the payload.
+func (d *Disk) Put(key string, payload []byte) {
+	if !validKey(key) {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.items[key]; ok {
+		d.order.MoveToFront(el)
+		return
+	}
+	if err := d.writeObject(key, payload); err != nil {
+		d.errors++
+		return
+	}
+	d.items[key] = d.order.PushFront(&diskEntry{key: key, size: int64(len(payload))})
+	d.curBytes += int64(len(payload))
+	d.evictLocked(key)
+}
+
+// writeObject is the crash-safe write path. Callers hold d.mu.
+func (d *Disk) writeObject(key string, payload []byte) error {
+	f, err := os.CreateTemp(tmpDir(d.dir), key[:8]+"-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	if _, err := f.Write(payload); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	bucket := filepath.Join(objectsDir(d.dir), key[:2])
+	if err := os.MkdirAll(bucket, 0o755); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, d.path(key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(bucket) // best-effort: the rename itself is already atomic
+	return nil
+}
+
+// syncDir fsyncs a directory so the rename that just landed in it is
+// durable; errors are ignored (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		_ = f.Sync()
+		_ = f.Close()
+	}
+}
+
+// evictLocked removes least-recently-used objects while the byte bound is
+// exceeded, never evicting `keep` (the entry just written — mirroring the
+// memory tier's oversize-entry-kept-alone rule). Callers hold d.mu.
+func (d *Disk) evictLocked(keep string) {
+	if d.maxBytes <= 0 {
+		return
+	}
+	for d.curBytes > d.maxBytes && d.order.Len() > 1 {
+		oldest := d.order.Back()
+		e := oldest.Value.(*diskEntry)
+		if e.key == keep {
+			// The newest entry alone exceeds the bound; keep it.
+			if d.order.Len() == 1 {
+				return
+			}
+			d.order.MoveToFront(oldest)
+			continue
+		}
+		d.dropLocked(oldest)
+		if err := os.Remove(d.path(e.key)); err != nil && !os.IsNotExist(err) {
+			d.errors++
+		}
+		d.evictions++
+	}
+}
+
+// dropLocked removes an entry from the index only. Callers hold d.mu.
+func (d *Disk) dropLocked(el *list.Element) {
+	e := el.Value.(*diskEntry)
+	d.order.Remove(el)
+	delete(d.items, e.key)
+	d.curBytes -= e.size
+}
+
+// Len reports resident objects.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.order.Len()
+}
+
+// Bytes reports the summed payload size of the resident objects.
+func (d *Disk) Bytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.curBytes
+}
+
+// Stats snapshots the store for the metrics endpoint.
+func (d *Disk) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DiskStats{
+		Entries: d.order.Len(), Bytes: d.curBytes, CapacityBytes: d.maxBytes,
+		Hits: d.hits, Misses: d.misses, Evictions: d.evictions, Errors: d.errors,
+	}
+}
+
+// Dir reports the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Close implements ResultStore; the disk store holds no open handles.
+func (d *Disk) Close() error { return nil }

@@ -1,0 +1,101 @@
+// The in-memory tier: a bounded LRU of marshaled result payloads keyed by
+// content address. Hits return the exact bytes the first run produced,
+// which is what makes repeated requests byte-identical. Two bounds apply
+// together: an entry-count cap, and an optional byte cap weighting every
+// entry by its payload size — the honest bound for a cache whose entries
+// range from a one-experiment document to a 25-scale full-suite section.
+
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memory is the in-process LRU result store (tier 1).
+type Memory struct {
+	mu       sync.Mutex
+	max      int
+	maxBytes int64 // 0 = no byte bound
+	curBytes int64
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type memEntry struct {
+	key     string
+	payload []byte
+}
+
+// NewMemory builds a memory store bounded to max entries and, when
+// maxBytes > 0, to maxBytes of summed payload.
+func NewMemory(max int, maxBytes int64) *Memory {
+	if max < 1 {
+		max = 1
+	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return &Memory{max: max, maxBytes: maxBytes, order: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached payload and refreshes its recency.
+func (c *Memory) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*memEntry).payload, true
+}
+
+// Put stores a payload, evicting least-recently-used entries while either
+// bound is exceeded. A single payload larger than the byte bound is kept
+// alone rather than rejected — the bound sheds accumulation, and refusing
+// the entry would force the next identical request to re-simulate what was
+// just computed.
+func (c *Memory) Put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*memEntry)
+		c.curBytes += int64(len(payload)) - int64(len(e.payload))
+		e.payload = payload
+		c.order.MoveToFront(el)
+		c.evictLocked()
+		return
+	}
+	c.items[key] = c.order.PushFront(&memEntry{key: key, payload: payload})
+	c.curBytes += int64(len(payload))
+	c.evictLocked()
+}
+
+func (c *Memory) evictLocked() {
+	for c.order.Len() > 1 &&
+		(c.order.Len() > c.max || (c.maxBytes > 0 && c.curBytes > c.maxBytes)) {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		e := oldest.Value.(*memEntry)
+		delete(c.items, e.key)
+		c.curBytes -= int64(len(e.payload))
+	}
+}
+
+// Len reports resident entries.
+func (c *Memory) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Bytes reports the summed payload size of the resident entries.
+func (c *Memory) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}
+
+// Close implements ResultStore; Memory holds no external resources.
+func (c *Memory) Close() error { return nil }

@@ -1,0 +1,54 @@
+// Package store is the daemon's persistent, tiered result store. The
+// simulation's one load-bearing property — a result payload is fully
+// determined by its content address (experiment set, Scale, Seed) — makes
+// result storage a pure key→bytes problem: entries never change, never
+// expire semantically, and can be shared freely between processes. The
+// package provides three implementations of one ResultStore interface:
+//
+//   - Memory: the in-process LRU the daemon has always had (tier 1);
+//   - Disk: a content-addressed on-disk backend with fsync'd temp+rename
+//     writes and byte-bounded LRU eviction — results survive restarts and
+//     a directory can be shared between daemons (tier 2);
+//   - Tiered: Memory over Disk — gets fall through to disk on a memory
+//     miss (resurrecting evicted entries instead of recomputing), puts
+//     write through to both tiers.
+//
+// Because hits return the exact bytes the first run produced, every tier
+// preserves the daemon's byte-identical-responses guarantee: where a
+// payload is stored never changes what is served.
+package store
+
+// ResultStore is a keyed payload store for canonical result documents.
+// Keys are content addresses (64 hex chars of SHA-256); payloads are
+// immutable once written — a second Put under the same key carries the
+// same bytes by construction.
+type ResultStore interface {
+	// Get returns the payload stored under key and refreshes its recency.
+	Get(key string) ([]byte, bool)
+	// Put stores a payload, evicting least-recently-used entries past the
+	// implementation's bounds.
+	Put(key string, payload []byte)
+	// Len reports entries resident in the fastest tier (the memory LRU for
+	// Tiered) — the value behind the zen2eed_cache_entries gauge.
+	Len() int
+	// Bytes reports the summed payload size resident in the fastest tier —
+	// the value behind the zen2eed_cache_bytes gauge.
+	Bytes() int64
+	// Close releases resources (a no-op for Memory).
+	Close() error
+}
+
+// DiskStats is a point-in-time snapshot of a Disk store, exported as the
+// daemon's zen2eed_store_disk_* metrics series.
+type DiskStats struct {
+	// Entries and Bytes describe the resident object set.
+	Entries int
+	Bytes   int64
+	// CapacityBytes is the configured byte bound (0 = unbounded).
+	CapacityBytes int64
+	// Hits and Misses count Get outcomes; Evictions counts objects removed
+	// by the byte bound; Errors counts failed reads/writes (corrupt or
+	// externally removed files, full disks) — the store degrades to a miss
+	// rather than failing the request.
+	Hits, Misses, Evictions, Errors uint64
+}

@@ -1,0 +1,246 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// key derives a valid content address from a short label.
+func key(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestMemoryLRU(t *testing.T) {
+	c := NewMemory(2, 0)
+	c.Put(key("a"), []byte("A"))
+	c.Put(key("b"), []byte("B"))
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put(key("c"), []byte("C")) // evicts b (a was refreshed)
+	if _, ok := c.Get(key("b")); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(key(k)); !ok {
+			t.Fatalf("%s missing after eviction round", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestMemoryByteBound(t *testing.T) {
+	c := NewMemory(100, 10)
+	c.Put(key("a"), bytes.Repeat([]byte("x"), 6))
+	c.Put(key("b"), bytes.Repeat([]byte("y"), 6)) // 12 bytes > 10: evicts a
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("a should have been evicted by the byte bound")
+	}
+	if got := c.Bytes(); got != 6 {
+		t.Fatalf("Bytes = %d, want 6", got)
+	}
+	// An oversize entry is kept alone rather than rejected.
+	c.Put(key("huge"), bytes.Repeat([]byte("z"), 64))
+	if _, ok := c.Get(key("huge")); !ok {
+		t.Fatal("oversize entry should be kept alone")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after oversize put, want 1", c.Len())
+	}
+}
+
+func TestDiskPutGetSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"doc":1}`)
+	d.Put(key("a"), payload)
+	got, ok := d.Get(key("a"))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want the stored payload", got, ok)
+	}
+
+	// A fresh store over the same directory serves the same bytes.
+	d2, err := NewDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = d2.Get(key("a"))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened Get = %q, %v; want the stored payload", got, ok)
+	}
+	if d2.Len() != 1 || d2.Bytes() != int64(len(payload)) {
+		t.Fatalf("reopened index: Len %d Bytes %d, want 1/%d", d2.Len(), d2.Bytes(), len(payload))
+	}
+}
+
+func TestDiskEvictionLRU(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(key("a"), bytes.Repeat([]byte("a"), 8))
+	d.Put(key("b"), bytes.Repeat([]byte("b"), 8))
+	d.Get(key("a")) // refresh a
+	d.Put(key("c"), bytes.Repeat([]byte("c"), 8))
+	if _, ok := d.Get(key("b")); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if _, ok := d.Get(key("a")); !ok {
+		t.Fatal("a should have survived (refreshed)")
+	}
+	st := d.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("Stats.Evictions = 0, want > 0 (%+v)", st)
+	}
+	// The evicted file is actually gone from the directory.
+	if _, err := os.Stat(d.path(key("b"))); !os.IsNotExist(err) {
+		t.Fatalf("evicted object still on disk: %v", err)
+	}
+}
+
+func TestDiskExternalRemovalAndAdoption(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(key("a"), []byte("A"))
+	// External removal (a sharing daemon's eviction) degrades to a miss.
+	os.Remove(d.path(key("a")))
+	if _, ok := d.Get(key("a")); ok {
+		t.Fatal("externally removed object should read as a miss")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after external removal, want 0", d.Len())
+	}
+	// External write (a sharing daemon's put) is adopted on first Get.
+	other, err := NewDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Put(key("b"), []byte("B"))
+	got, ok := d.Get(key("b"))
+	if !ok || string(got) != "B" {
+		t.Fatalf("Get of externally written object = %q, %v", got, ok)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d after adoption, want 1", d.Len())
+	}
+}
+
+func TestDiskRejectsInvalidKeys(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "short", "../../../../etc/passwd", key("x")[:10] + "/" + key("x")[:53]} {
+		d.Put(bad, []byte("nope"))
+		if _, ok := d.Get(bad); ok {
+			t.Fatalf("invalid key %q must never hit", bad)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("invalid keys stored: Len = %d", d.Len())
+	}
+}
+
+func TestDiskCleansTempFilesAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewDisk(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	leftover := filepath.Join(tmpDir(dir), "abcd1234-interrupted")
+	if err := os.WriteFile(leftover, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDisk(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+		t.Fatal("interrupted temp write should be removed at open")
+	}
+}
+
+func TestTieredFallthroughAndPromotion(t *testing.T) {
+	disk, err := NewDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTiered(NewMemory(1, 0), disk)
+	a, b := []byte("payload-a"), []byte("payload-b")
+	ts.Put(key("a"), a)
+	ts.Put(key("b"), b) // memory holds only b now; a lives on disk
+
+	got, ok := ts.Get(key("a"))
+	if !ok || !bytes.Equal(got, a) {
+		t.Fatalf("disk fallthrough Get = %q, %v", got, ok)
+	}
+	// The hit promoted a back into memory (evicting b from the memory
+	// tier); b still falls through to disk.
+	if ts.Len() != 1 {
+		t.Fatalf("memory tier Len = %d, want 1", ts.Len())
+	}
+	if got, ok := ts.Get(key("b")); !ok || !bytes.Equal(got, b) {
+		t.Fatalf("b fallthrough Get = %q, %v", got, ok)
+	}
+	st := disk.Stats()
+	if st.Hits < 2 {
+		t.Fatalf("disk hits = %d, want >= 2 (%+v)", st.Hits, st)
+	}
+}
+
+func TestTieredSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTiered(NewMemory(8, 0), disk)
+	ts.Put(key("a"), []byte("doc"))
+
+	disk2, err := NewDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := NewTiered(NewMemory(8, 0), disk2)
+	got, ok := ts2.Get(key("a"))
+	if !ok || string(got) != "doc" {
+		t.Fatalf("restarted tiered Get = %q, %v", got, ok)
+	}
+}
+
+func TestDiskConcurrentAccess(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(fmt.Sprintf("obj-%d", i%10))
+				d.Put(k, []byte(fmt.Sprintf("payload-%d", i%10)))
+				if got, ok := d.Get(k); ok {
+					if want := fmt.Sprintf("payload-%d", i%10); string(got) != want {
+						t.Errorf("Get(%s) = %q, want %q", k[:8], got, want)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

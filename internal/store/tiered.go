@@ -1,0 +1,53 @@
+// The tiered store: Memory over Disk. Gets probe the memory LRU first and
+// fall through to disk on a miss, promoting the payload back into memory —
+// an entry the memory bound evicted is resurrected from disk instead of
+// recomputed, and a freshly restarted daemon serves its predecessor's
+// results warm. Puts write through to both tiers, so the disk view is
+// always a superset of memory (modulo its own eviction) and two daemons
+// sharing one directory warm each other.
+
+package store
+
+// Tiered composes a memory tier over a disk tier.
+type Tiered struct {
+	mem  *Memory
+	disk *Disk
+}
+
+// NewTiered builds the two-tier store.
+func NewTiered(mem *Memory, disk *Disk) *Tiered {
+	return &Tiered{mem: mem, disk: disk}
+}
+
+// Get probes memory, then disk; a disk hit is promoted into memory so the
+// next request for a hot entry never touches the filesystem.
+func (t *Tiered) Get(key string) ([]byte, bool) {
+	if payload, ok := t.mem.Get(key); ok {
+		return payload, true
+	}
+	payload, ok := t.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	t.mem.Put(key, payload)
+	return payload, true
+}
+
+// Put writes through to both tiers.
+func (t *Tiered) Put(key string, payload []byte) {
+	t.mem.Put(key, payload)
+	t.disk.Put(key, payload)
+}
+
+// Len reports memory-tier entries (the zen2eed_cache_entries gauge keeps
+// meaning what it always meant; the disk tier reports through DiskStats).
+func (t *Tiered) Len() int { return t.mem.Len() }
+
+// Bytes reports memory-tier bytes.
+func (t *Tiered) Bytes() int64 { return t.mem.Bytes() }
+
+// DiskTier exposes the disk tier for stats reporting.
+func (t *Tiered) DiskTier() *Disk { return t.disk }
+
+// Close closes the disk tier.
+func (t *Tiered) Close() error { return t.disk.Close() }

@@ -1,0 +1,164 @@
+// The per-tenant circuit breaker. Each tenant's job outcomes feed a
+// sliding window of recent results; when the window is warm (min_samples)
+// and the failure ratio crosses the threshold, the breaker opens and the
+// tenant's submissions are shed with 503 until the cooldown elapses. The
+// first submission after cooldown is a half-open probe: its success
+// closes the breaker, its failure re-opens it for another cooldown.
+//
+// Per-tenant scope is the point — one tenant submitting configurations
+// that consistently fail (bad parameters, a broken client) stops burning
+// executor slots without affecting anyone else's error budget.
+
+package tenant
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerPolicy is the circuit-breaker configuration of one tenant.
+type BreakerPolicy struct {
+	// Window is the sliding window size in samples (default 20).
+	Window int `json:"window,omitempty"`
+	// MinSamples is the warm-up floor: the breaker never trips before
+	// this many outcomes are in the window (default 5).
+	MinSamples int `json:"min_samples,omitempty"`
+	// FailureRatio in (0, 1] trips the breaker when the windowed failure
+	// fraction reaches it. Required.
+	FailureRatio float64 `json:"failure_ratio"`
+	// CooldownSeconds is how long an open breaker sheds load before
+	// allowing a half-open probe (default 30).
+	CooldownSeconds float64 `json:"cooldown_seconds,omitempty"`
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a sliding-window circuit breaker. Safe for concurrent use.
+type Breaker struct {
+	window   int
+	min      int
+	ratio    float64
+	cooldown time.Duration
+	now      func() time.Time // injectable for deterministic tests
+
+	mu       sync.Mutex
+	state    breakerState
+	outcomes []bool // ring of recent outcomes, true = success
+	next     int
+	filled   int
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker validates a policy and builds the breaker (closed).
+func NewBreaker(p BreakerPolicy) (*Breaker, error) {
+	if p.FailureRatio <= 0 || p.FailureRatio > 1 {
+		return nil, fmt.Errorf("breaker failure_ratio %v must be in (0, 1]", p.FailureRatio)
+	}
+	if p.Window < 0 || p.MinSamples < 0 || p.CooldownSeconds < 0 {
+		return nil, fmt.Errorf("breaker limits must not be negative")
+	}
+	b := &Breaker{
+		window: p.Window, min: p.MinSamples, ratio: p.FailureRatio,
+		cooldown: time.Duration(p.CooldownSeconds * float64(time.Second)),
+		now:      time.Now,
+	}
+	if b.window == 0 {
+		b.window = 20
+	}
+	if b.min == 0 {
+		b.min = 5
+	}
+	if b.min > b.window {
+		return nil, fmt.Errorf("breaker min_samples %d exceeds window %d", b.min, b.window)
+	}
+	if b.cooldown == 0 {
+		b.cooldown = 30 * time.Second
+	}
+	b.outcomes = make([]bool, b.window)
+	return b, nil
+}
+
+// Allow reports whether a submission may proceed. An open breaker whose
+// cooldown has elapsed admits exactly one probe (half-open); further
+// submissions are shed until the probe's outcome is recorded.
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if left := b.cooldown - b.now().Sub(b.openedAt); left > 0 {
+			return false, left
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// Record feeds one job outcome into the window and runs the state
+// transitions: a half-open probe's success closes the breaker (and clears
+// the window — history from before the incident should not re-trip it),
+// its failure re-opens; a closed breaker trips when the warm window's
+// failure ratio reaches the threshold.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if success {
+			b.state = breakerClosed
+			b.filled, b.next, b.failures = 0, 0, 0
+		} else {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+		return
+	}
+	if b.filled == b.window && !b.outcomes[b.next] {
+		b.failures--
+	}
+	b.outcomes[b.next] = success
+	if !success {
+		b.failures++
+	}
+	b.next = (b.next + 1) % b.window
+	if b.filled < b.window {
+		b.filled++
+	}
+	if b.state == breakerClosed && b.filled >= b.min &&
+		float64(b.failures)/float64(b.filled) >= b.ratio {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State renders the breaker state for listings and metrics.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
