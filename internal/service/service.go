@@ -406,6 +406,10 @@ func (s *Server) admit(w http.ResponseWriter, build func() *job, key string, tn 
 	j := build()
 	j.owner, j.class = tn, class
 	if !s.queue.push(j) {
+		// The admission never becomes a queued job, so no JobFinished will
+		// ever resolve it — return it (and any half-open breaker probe it
+		// consumed) to the tenant.
+		tn.CancelAdmit()
 		s.mu.Unlock()
 		s.metrics.add(&s.metrics.queueRejects, 1)
 		writeError(w, http.StatusServiceUnavailable,

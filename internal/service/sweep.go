@@ -290,13 +290,16 @@ func (s *Server) assembleSweep(spec SweepSpec) ([]byte, error) {
 // sweepEvicted reports whether a done sweep job can no longer serve its
 // document because a section fell out of the cache. admit treats such a
 // job as absent so resubmission recomputes instead of dead-ending on a
-// 410 forever.
+// 410 forever. It runs while admit holds the global s.mu, so it uses the
+// store's existence probe rather than Get: probing a large finished
+// sweep must not read every payload off disk under the lock, and must
+// not promote into the memory tier sections nobody asked to read.
 func (s *Server) sweepEvicted(j *job) bool {
 	if j.kind != KindSweep || j.currentState() != StateDone {
 		return false
 	}
 	for i := range j.sweep.Configs {
-		if _, ok := s.cache.Get(j.sweep.configKey(i)); !ok {
+		if !s.cache.Has(j.sweep.configKey(i)) {
 			return true
 		}
 	}

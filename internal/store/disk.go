@@ -18,6 +18,13 @@
 // byte bound. Externally removed files degrade to misses, and externally
 // added files are adopted on first Get — sharing a directory between
 // daemons needs no coordination beyond the filesystem.
+//
+// Locking discipline: d.mu guards only the index. Every piece of file
+// I/O — reads, the write/fsync/rename path, eviction unlinks — runs
+// outside it, so one slow disk operation never serializes the other
+// executors' hits. The cost is benign races between index and
+// filesystem, all of which degrade to a miss and self-heal on the next
+// touch of the key.
 
 package store
 
@@ -67,8 +74,9 @@ func NewDisk(dir string, maxBytes int64) (*Disk, error) {
 		return nil, err
 	}
 	d.mu.Lock()
-	d.evictLocked("")
+	victims := d.evictLocked("")
 	d.mu.Unlock()
+	d.removeFiles(victims)
 	return d, nil
 }
 
@@ -139,15 +147,26 @@ func (d *Disk) scan() error {
 // Get reads the payload stored under key. An indexed entry whose file has
 // vanished (an external cleanup, a sharing daemon's eviction) degrades to
 // a miss; an unindexed file that exists (a sharing daemon's write) is
-// adopted into the index.
+// adopted into the index. The read itself runs outside d.mu — one slow
+// read, or a concurrent Put's fsync, must not serialize every other
+// caller of the store.
 func (d *Disk) Get(key string) ([]byte, bool) {
 	if !validKey(key) {
 		return nil, false
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	el, indexed := d.items[key]
 	payload, err := os.ReadFile(d.path(key))
+	d.mu.Lock()
+	el, indexed := d.items[key]
+	if err != nil && indexed {
+		// The miss may have raced an in-flight Put: the entry was indexed
+		// after our read failed, and Put renames the object into place
+		// before indexing it, so under that ordering one re-read settles
+		// whether the file truly vanished.
+		d.mu.Unlock()
+		payload, err = os.ReadFile(d.path(key))
+		d.mu.Lock()
+		el, indexed = d.items[key]
+	}
 	if err != nil {
 		if indexed {
 			// The file is gone out from under the index: drop the entry.
@@ -155,8 +174,10 @@ func (d *Disk) Get(key string) ([]byte, bool) {
 			d.errors++
 		}
 		d.misses++
+		d.mu.Unlock()
 		return nil, false
 	}
+	var victims []string
 	if indexed {
 		e := el.Value.(*diskEntry)
 		d.curBytes += int64(len(payload)) - e.size
@@ -165,38 +186,89 @@ func (d *Disk) Get(key string) ([]byte, bool) {
 	} else {
 		d.items[key] = d.order.PushFront(&diskEntry{key: key, size: int64(len(payload))})
 		d.curBytes += int64(len(payload))
-		d.evictLocked(key)
+		victims = d.evictLocked(key)
 	}
 	d.hits++
+	d.mu.Unlock()
+	d.removeFiles(victims)
 	return payload, true
+}
+
+// Has reports whether an object file for key exists, by stat alone: no
+// payload read, no index mutation, no recency refresh, and no d.mu — an
+// existence probe that can never stall behind another caller's I/O.
+// Like Get, it trusts the filesystem over the index, so an externally
+// added object counts and an externally removed one does not.
+func (d *Disk) Has(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	info, err := os.Stat(d.path(key))
+	return err == nil && !info.IsDir()
 }
 
 // Put durably stores a payload: temp file, fsync, rename into place. An
 // entry already resident is only touched for recency — payloads are
-// immutable per key, so rewriting identical bytes would be wasted I/O.
-// Write failures (full disk, permissions) are counted and swallowed: the
-// disk tier is an accelerator, and losing it must not fail the job that
-// produced the payload.
+// immutable per key, so rewriting identical bytes would be wasted I/O —
+// but the index is trusted only as far as the filesystem agrees: when
+// the object file was removed externally (a sharing daemon's eviction,
+// an out-of-band cleanup), the payload is rewritten rather than silently
+// dropped. Write failures (full disk, permissions) are counted and
+// swallowed: the disk tier is an accelerator, and losing it must not
+// fail the job that produced the payload. All file I/O — the stat, the
+// write, the fsync, the rename — runs outside d.mu; see Get.
 func (d *Disk) Put(key string, payload []byte) {
 	if !validKey(key) {
 		return
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if el, ok := d.items[key]; ok {
-		d.order.MoveToFront(el)
-		return
+	_, indexed := d.items[key]
+	d.mu.Unlock()
+	if indexed {
+		if _, err := os.Stat(d.path(key)); err == nil {
+			d.mu.Lock()
+			if el, ok := d.items[key]; ok {
+				d.order.MoveToFront(el)
+			}
+			d.mu.Unlock()
+			return
+		}
+		// Indexed but the file vanished: drop the stale entry and fall
+		// through to the write path so the payload actually persists.
+		d.mu.Lock()
+		if el, ok := d.items[key]; ok {
+			d.dropLocked(el)
+		}
+		d.mu.Unlock()
 	}
+	// Concurrent writers racing on one key write identical bytes (keys
+	// are content addresses), so either order of their renames leaves the
+	// same object on disk.
 	if err := d.writeObject(key, payload); err != nil {
+		d.mu.Lock()
 		d.errors++
+		d.mu.Unlock()
 		return
 	}
-	d.items[key] = d.order.PushFront(&diskEntry{key: key, size: int64(len(payload))})
-	d.curBytes += int64(len(payload))
-	d.evictLocked(key)
+	d.mu.Lock()
+	if el, ok := d.items[key]; ok {
+		// A concurrent Put (or a Get adoption) indexed the key while we
+		// wrote; refresh rather than double-count.
+		e := el.Value.(*diskEntry)
+		d.curBytes += int64(len(payload)) - e.size
+		e.size = int64(len(payload))
+		d.order.MoveToFront(el)
+	} else {
+		d.items[key] = d.order.PushFront(&diskEntry{key: key, size: int64(len(payload))})
+		d.curBytes += int64(len(payload))
+	}
+	victims := d.evictLocked(key)
+	d.mu.Unlock()
+	d.removeFiles(victims)
 }
 
-// writeObject is the crash-safe write path. Callers hold d.mu.
+// writeObject is the crash-safe write path. Callers must NOT hold d.mu —
+// the fsync here is the slowest thing the store ever does.
 func (d *Disk) writeObject(key string, payload []byte) error {
 	f, err := os.CreateTemp(tmpDir(d.dir), key[:8]+"-*")
 	if err != nil {
@@ -238,12 +310,14 @@ func syncDir(dir string) {
 	}
 }
 
-// evictLocked removes least-recently-used objects while the byte bound is
-// exceeded, never evicting `keep` (the entry just written — mirroring the
-// memory tier's oversize-entry-kept-alone rule). Callers hold d.mu.
-func (d *Disk) evictLocked(keep string) {
+// evictLocked drops least-recently-used index entries while the byte
+// bound is exceeded, never evicting `keep` (the entry just written —
+// mirroring the memory tier's oversize-entry-kept-alone rule), and
+// returns the evicted keys. Callers hold d.mu and must pass the victims
+// to removeFiles after releasing it — the unlinks are file I/O too.
+func (d *Disk) evictLocked(keep string) (victims []string) {
 	if d.maxBytes <= 0 {
-		return
+		return nil
 	}
 	for d.curBytes > d.maxBytes && d.order.Len() > 1 {
 		oldest := d.order.Back()
@@ -251,16 +325,37 @@ func (d *Disk) evictLocked(keep string) {
 		if e.key == keep {
 			// The newest entry alone exceeds the bound; keep it.
 			if d.order.Len() == 1 {
-				return
+				return victims
 			}
 			d.order.MoveToFront(oldest)
 			continue
 		}
 		d.dropLocked(oldest)
-		if err := os.Remove(d.path(e.key)); err != nil && !os.IsNotExist(err) {
-			d.errors++
-		}
+		victims = append(victims, e.key)
 		d.evictions++
+	}
+	return victims
+}
+
+// removeFiles unlinks evicted objects. Callers must not hold d.mu. A key
+// that was re-indexed between eviction and unlink (a racing Put of the
+// same content) is left alone; the residual window between that check
+// and the unlink can at worst orphan an index entry, which the next Get
+// degrades to a miss and drops — the store's documented behavior for
+// externally removed files.
+func (d *Disk) removeFiles(victims []string) {
+	for _, key := range victims {
+		d.mu.Lock()
+		_, revived := d.items[key]
+		d.mu.Unlock()
+		if revived {
+			continue
+		}
+		if err := os.Remove(d.path(key)); err != nil && !os.IsNotExist(err) {
+			d.mu.Lock()
+			d.errors++
+			d.mu.Unlock()
+		}
 	}
 }
 

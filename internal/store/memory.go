@@ -51,6 +51,15 @@ func (c *Memory) Get(key string) ([]byte, bool) {
 	return el.Value.(*memEntry).payload, true
 }
 
+// Has reports residency without touching recency: pure existence checks
+// (e.g. the sweep-eviction probe) must not promote entries nobody read.
+func (c *Memory) Has(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // Put stores a payload, evicting least-recently-used entries while either
 // bound is exceeded. A single payload larger than the byte bound is kept
 // alone rather than rejected — the bound sheds accumulation, and refusing

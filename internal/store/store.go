@@ -25,6 +25,10 @@ package store
 type ResultStore interface {
 	// Get returns the payload stored under key and refreshes its recency.
 	Get(key string) ([]byte, bool)
+	// Has reports whether key is resident in any tier, without reading
+	// the payload, refreshing recency, or promoting between tiers — an
+	// existence probe cheap enough to call while holding unrelated locks.
+	Has(key string) bool
 	// Put stores a payload, evicting least-recently-used entries past the
 	// implementation's bounds.
 	Put(key string, payload []byte)

@@ -140,6 +140,67 @@ func TestDiskExternalRemovalAndAdoption(t *testing.T) {
 	}
 }
 
+func TestDiskPutRewritesExternallyRemoved(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(key("a"), []byte("A"))
+	// A sharing daemon (or an out-of-band cleanup) removed the object but
+	// this store's index still lists it. A re-Put must persist the bytes,
+	// not silently no-op on the stale index entry.
+	os.Remove(d.path(key("a")))
+	d.Put(key("a"), []byte("A"))
+	if _, err := os.Stat(d.path(key("a"))); err != nil {
+		t.Fatalf("re-Put after external removal left no object file: %v", err)
+	}
+	if got, ok := d.Get(key("a")); !ok || string(got) != "A" {
+		t.Fatalf("Get after re-Put = %q, %v; want the rewritten payload", got, ok)
+	}
+}
+
+func TestHasProbesWithoutPromotion(t *testing.T) {
+	disk, err := NewDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory(1, 0)
+	ts := NewTiered(mem, disk)
+	ts.Put(key("a"), []byte("A"))
+	ts.Put(key("b"), []byte("B")) // memory holds only b; a lives on disk
+	for _, k := range []string{"a", "b"} {
+		if !ts.Has(key(k)) {
+			t.Fatalf("Has(%s) = false, want true", k)
+		}
+	}
+	if ts.Has(key("missing")) || ts.Has("not-a-content-address") {
+		t.Fatal("Has must miss on absent or invalid keys")
+	}
+	// The disk-tier probe of a promoted nothing: b still owns the memory
+	// slot, and the disk Get counters never moved (stat only).
+	if !mem.Has(key("b")) || mem.Has(key("a")) {
+		t.Fatal("Has must not promote disk entries into the memory tier")
+	}
+	if st := disk.Stats(); st.Hits != 0 && st.Misses != 0 {
+		t.Fatalf("disk stats moved on Has: %+v", st)
+	}
+	// Memory.Has must not refresh recency: probing a then adding c must
+	// still evict a (the LRU order is untouched by the probe).
+	mem2 := NewMemory(2, 0)
+	mem2.Put(key("x"), []byte("X"))
+	mem2.Put(key("y"), []byte("Y"))
+	mem2.Has(key("x"))
+	mem2.Put(key("z"), []byte("Z"))
+	if mem2.Has(key("x")) {
+		t.Fatal("Has refreshed recency: x survived an eviction it should have lost")
+	}
+	// Has trusts the filesystem over the disk index, both ways.
+	os.Remove(disk.path(key("a")))
+	if disk.Has(key("a")) {
+		t.Fatal("Has reported an externally removed object")
+	}
+}
+
 func TestDiskRejectsInvalidKeys(t *testing.T) {
 	d, err := NewDisk(t.TempDir(), 0)
 	if err != nil {
@@ -234,6 +295,7 @@ func TestDiskConcurrentAccess(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				k := key(fmt.Sprintf("obj-%d", i%10))
 				d.Put(k, []byte(fmt.Sprintf("payload-%d", i%10)))
+				d.Has(k)
 				if got, ok := d.Get(k); ok {
 					if want := fmt.Sprintf("payload-%d", i%10); string(got) != want {
 						t.Errorf("Get(%s) = %q, want %q", k[:8], got, want)

@@ -33,6 +33,12 @@ func (t *Tiered) Get(key string) ([]byte, bool) {
 	return payload, true
 }
 
+// Has probes memory then disk; unlike Get it reads no payload and
+// promotes nothing — existence checks must not churn the memory tier.
+func (t *Tiered) Has(key string) bool {
+	return t.mem.Has(key) || t.disk.Has(key)
+}
+
 // Put writes through to both tiers.
 func (t *Tiered) Put(key string, payload []byte) {
 	t.mem.Put(key, payload)

@@ -89,26 +89,46 @@ func NewBreaker(p BreakerPolicy) (*Breaker, error) {
 
 // Allow reports whether a submission may proceed. An open breaker whose
 // cooldown has elapsed admits exactly one probe (half-open); further
-// submissions are shed until the probe's outcome is recorded.
-func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+// submissions are shed until the probe's outcome is recorded. probe is
+// true when this call consumed the half-open probe: the caller now owes
+// the breaker a resolution — a Record once a job runs, or a CancelProbe
+// if the submission is rejected downstream before any job exists.
+func (b *Breaker) Allow() (ok bool, probe bool, retryAfter time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true, 0
+		return true, false, 0
 	case breakerOpen:
 		if left := b.cooldown - b.now().Sub(b.openedAt); left > 0 {
-			return false, left
+			return false, false, left
 		}
 		b.state = breakerHalfOpen
 		b.probing = true
-		return true, 0
+		return true, true, 0
 	default: // half-open
 		if b.probing {
-			return false, b.cooldown
+			return false, false, b.cooldown
 		}
 		b.probing = true
-		return true, 0
+		return true, true, 0
+	}
+}
+
+// CancelProbe returns an unconsumed half-open probe. A probe granted by
+// Allow can die before any job exists to Record its outcome — the same
+// submission may still be rejected by the rate limiter, a quota, or the
+// full daemon queue. Without cancellation the breaker would wait forever
+// for a Record that can never come, shedding the tenant until restart
+// (and a failing tenant's retrying clients make that exact sequence
+// likely). A no-op unless a probe is actually outstanding: a concurrent
+// Record may already have resolved the half-open state, in which case
+// the probe is no longer this caller's to return.
+func (b *Breaker) CancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen && b.probing {
+		b.probing = false
 	}
 }
 

@@ -4,7 +4,8 @@
 // weighted-fair executor-slot gate. It is pure policy — the package owns
 // no HTTP routes and runs no goroutines; the service layer asks it
 // questions (Authenticate, Admit, Acquire) and reports outcomes back
-// (JobQueued/JobStarted/JobFinished).
+// (JobQueued/JobStarted/JobFinished, or CancelAdmit when an admitted
+// submission never reaches the queue).
 //
 // The zero configuration is deliberately invisible: a daemon started
 // without -tenant-config runs with a single anonymous tenant that has no
@@ -127,6 +128,12 @@ type Tenant struct {
 	pass     float64 // weighted-fair-queueing virtual time (owned by Gate)
 	admitted uint64
 	rejected map[string]uint64 // reason → count
+	// probeHeld marks an admission that consumed the breaker's half-open
+	// probe but has not yet become a queued job. While it is set no other
+	// submission can pass the breaker (the single-probe rule), so at most
+	// one admission holds it; JobQueued consumes it (the probe resolves
+	// through JobFinished → Record) and CancelAdmit returns it.
+	probeHeld bool
 }
 
 // Name reports the tenant's configured name.
@@ -165,20 +172,28 @@ type Rejection struct {
 // Admit runs the tenant's admission checks for one submission, in order:
 // circuit breaker (a tripped tenant sheds load before consuming tokens),
 // rate limit, then the inflight/queue quotas. A nil return admits the
-// request; the caller must then pair every accepted enqueue with
-// JobQueued and the eventual JobFinished.
+// request; the caller must then resolve every admission exactly once —
+// JobQueued (and the eventual JobFinished) when the job enters the
+// queue, CancelAdmit when it is dropped after admission (a full daemon
+// queue). A rejection by a check downstream of the breaker returns the
+// breaker's half-open probe itself, so a rate-limited probe does not
+// leave the tenant shed forever.
 func (t *Tenant) Admit() *Rejection {
+	var probe bool
 	if t.breaker != nil {
-		if ok, retry := t.breaker.Allow(); !ok {
+		ok, p, retry := t.breaker.Allow()
+		if !ok {
 			t.countReject("breaker")
 			return &Rejection{
 				Status: http.StatusServiceUnavailable, Reason: "breaker", RetryAfter: retry,
 				Message: fmt.Sprintf("tenant %q circuit breaker open (recent failure rate too high); retry after %s", t.name, retry.Round(time.Millisecond)),
 			}
 		}
+		probe = p
 	}
 	if t.bucket != nil {
 		if ok, retry := t.bucket.Take(); !ok {
+			t.returnProbe(probe)
 			t.countReject("rate")
 			return &Rejection{
 				Status: http.StatusTooManyRequests, Reason: "rate", RetryAfter: retry,
@@ -190,6 +205,7 @@ func (t *Tenant) Admit() *Rejection {
 	if t.maxQueued > 0 && t.queued >= t.maxQueued {
 		q := t.queued
 		t.mu.Unlock()
+		t.returnProbe(probe)
 		t.countReject("quota")
 		return &Rejection{
 			Status: http.StatusTooManyRequests, Reason: "quota", RetryAfter: time.Second,
@@ -199,6 +215,7 @@ func (t *Tenant) Admit() *Rejection {
 	if t.maxInflight > 0 && t.queued+t.running >= t.maxInflight {
 		n := t.queued + t.running
 		t.mu.Unlock()
+		t.returnProbe(probe)
 		t.countReject("quota")
 		return &Rejection{
 			Status: http.StatusTooManyRequests, Reason: "quota", RetryAfter: time.Second,
@@ -206,8 +223,29 @@ func (t *Tenant) Admit() *Rejection {
 		}
 	}
 	t.admitted++
+	t.probeHeld = probe
 	t.mu.Unlock()
 	return nil
+}
+
+// returnProbe hands an unconsumed half-open probe back to the breaker.
+func (t *Tenant) returnProbe(probe bool) {
+	if probe && t.breaker != nil {
+		t.breaker.CancelProbe()
+	}
+}
+
+// CancelAdmit rolls back an admission that never became a queued job —
+// the daemon's queue was full after Admit passed. Its one material
+// effect is returning an unconsumed breaker probe: no job will ever
+// Record the probe's outcome, and without the return the breaker stays
+// half-open-with-probe-in-flight and sheds the tenant until restart.
+func (t *Tenant) CancelAdmit() {
+	t.mu.Lock()
+	probe := t.probeHeld
+	t.probeHeld = false
+	t.mu.Unlock()
+	t.returnProbe(probe)
 }
 
 func (t *Tenant) countReject(reason string) {
@@ -216,10 +254,13 @@ func (t *Tenant) countReject(reason string) {
 	t.mu.Unlock()
 }
 
-// JobQueued records a job accepted onto the daemon queue.
+// JobQueued records a job accepted onto the daemon queue. It also
+// consumes a held breaker probe: from here the probe's outcome arrives
+// through the job's JobFinished → Record.
 func (t *Tenant) JobQueued() {
 	t.mu.Lock()
 	t.queued++
+	t.probeHeld = false
 	t.mu.Unlock()
 }
 

@@ -202,27 +202,27 @@ func TestBreakerLifecycle(t *testing.T) {
 	b.now = func() time.Time { return now }
 
 	b.Record(true)
-	if ok, _ := b.Allow(); !ok {
-		t.Fatal("closed breaker must allow")
+	if ok, probe, _ := b.Allow(); !ok || probe {
+		t.Fatal("closed breaker must allow without a probe")
 	}
 	b.Record(false)
 	b.Record(false) // window [true,false,false]: ratio 2/3 >= 0.5 → open
 	if b.State() != "open" {
 		t.Fatalf("state = %s, want open", b.State())
 	}
-	ok, retry := b.Allow()
+	ok, _, retry := b.Allow()
 	if ok || retry != 10*time.Second {
 		t.Fatalf("open breaker Allow = %v, %v; want shed with full cooldown", ok, retry)
 	}
 
 	now = now.Add(11 * time.Second)
-	if ok, _ := b.Allow(); !ok {
-		t.Fatal("cooldown elapsed: the probe must be admitted")
+	if ok, probe, _ := b.Allow(); !ok || !probe {
+		t.Fatal("cooldown elapsed: the probe must be admitted and marked as such")
 	}
 	if b.State() != "half-open" {
 		t.Fatalf("state = %s, want half-open", b.State())
 	}
-	if ok, _ := b.Allow(); ok {
+	if ok, _, _ := b.Allow(); ok {
 		t.Fatal("only one probe may fly at a time")
 	}
 	b.Record(false) // probe failed → re-open
@@ -231,7 +231,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 
 	now = now.Add(11 * time.Second)
-	if ok, _ := b.Allow(); !ok {
+	if ok, _, _ := b.Allow(); !ok {
 		t.Fatal("second probe must be admitted")
 	}
 	b.Record(true) // probe succeeded → closed, window cleared
@@ -241,6 +241,76 @@ func TestBreakerLifecycle(t *testing.T) {
 	b.Record(false) // 1 failure in a cleared window: below min_samples
 	if b.State() != "closed" {
 		t.Fatal("cleared window must not re-trip on one sample")
+	}
+}
+
+// probeTenant builds a tenant whose breaker is open with its cooldown
+// elapsed — the next Admit consumes the half-open probe — on a fake
+// clock shared with the rate bucket when one is configured.
+func probeTenant(t *testing.T, p Policy) (*Tenant, *time.Time) {
+	t.Helper()
+	p.Breaker = &BreakerPolicy{Window: 4, MinSamples: 2, FailureRatio: 1, CooldownSeconds: 10}
+	tn, err := newTenant(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(9000, 0)
+	tn.breaker.now = func() time.Time { return now }
+	if tn.bucket != nil {
+		tn.bucket.now = tn.breaker.now
+		tn.bucket.last = now
+	}
+	tn.breaker.Record(false)
+	tn.breaker.Record(false) // 2/2 failures ≥ ratio 1 → open
+	if tn.breaker.State() != "open" {
+		t.Fatalf("breaker state = %s, want open", tn.breaker.State())
+	}
+	now = now.Add(11 * time.Second) // cooldown elapsed: next Allow probes
+	return tn, &now
+}
+
+func TestRateRejectionReturnsProbe(t *testing.T) {
+	tn, now := probeTenant(t, Policy{Name: "p", RateRPS: 1, Burst: 1})
+	tn.bucket.tokens, tn.bucket.last = 0, *now // retrying clients drained the bucket
+	rej := tn.Admit()
+	if rej == nil || rej.Reason != "rate" {
+		t.Fatalf("rejection = %+v, want rate (the probe was granted, then rate-limited)", rej)
+	}
+	// The rate limiter ate the probe; without CancelProbe the breaker is
+	// now stuck half-open with probing=true and sheds the tenant forever.
+	tn.bucket.tokens = 1
+	if rej := tn.Admit(); rej != nil {
+		t.Fatalf("post-rejection Admit = %+v; the unconsumed probe must be returned", rej)
+	}
+	tn.JobQueued()
+	tn.JobStarted()
+	tn.JobFinished(false) // the real probe succeeds
+	if got := tn.Usage().BreakerState; got != "closed" {
+		t.Fatalf("breaker state = %s, want closed after the probe job succeeded", got)
+	}
+}
+
+func TestQuotaRejectionReturnsProbe(t *testing.T) {
+	tn, _ := probeTenant(t, Policy{Name: "p", MaxQueued: 1})
+	tn.JobQueued() // a pre-incident job still occupies the queue quota
+	if rej := tn.Admit(); rej == nil || rej.Reason != "quota" {
+		t.Fatalf("rejection = %+v, want quota", rej)
+	}
+	tn.JobStarted() // quota clears
+	if rej := tn.Admit(); rej != nil {
+		t.Fatalf("post-rejection Admit = %+v; the unconsumed probe must be returned", rej)
+	}
+}
+
+func TestCancelAdmitReturnsProbe(t *testing.T) {
+	tn, _ := probeTenant(t, Policy{Name: "p"})
+	if rej := tn.Admit(); rej != nil {
+		t.Fatalf("probe admission rejected: %+v", rej)
+	}
+	// The daemon queue was full: the admission never became a job.
+	tn.CancelAdmit()
+	if rej := tn.Admit(); rej != nil {
+		t.Fatalf("Admit after CancelAdmit = %+v; the probe must be available again", rej)
 	}
 }
 
