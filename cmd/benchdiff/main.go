@@ -2,7 +2,9 @@
 // form (the BENCH_* artifacts CI uploads) and prints an old-vs-new table of
 // ns/op, B/op and allocs/op per benchmark, with relative deltas — a
 // dependency-free benchstat for the repository's perf-trajectory artifacts.
-// Benchmarks recorded without -benchmem show "-" in the memory columns.
+// Benchmarks recorded without -benchmem show "-" in the memory columns, and
+// a trailing `geomean` row summarizes each column over the benchmarks the
+// two files share.
 //
 // Usage:
 //
@@ -18,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -35,6 +38,7 @@ type metrics struct {
 // testEvent is the subset of the test2json event schema benchdiff consumes.
 type testEvent struct {
 	Action string `json:"Action"`
+	Test   string `json:"Test"`
 	Output string `json:"Output"`
 }
 
@@ -50,6 +54,14 @@ func parseFile(r io.Reader) (map[string]metrics, error) {
 		var ev testEvent
 		if err := json.Unmarshal([]byte(line), &ev); err == nil && ev.Action == "output" {
 			line = strings.TrimSuffix(ev.Output, "\n")
+			// test2json splits a sub-benchmark's result across two output
+			// events: the padded name alone, then the measurements. The
+			// measurement event still names the benchmark in its Test
+			// field, so graft it back on when the line lacks one.
+			if strings.HasPrefix(ev.Test, "Benchmark") &&
+				!strings.HasPrefix(strings.TrimSpace(line), "Benchmark") {
+				line = ev.Test + " " + line
+			}
 		}
 		name, m, ok := parseBenchLine(line)
 		if ok {
@@ -95,6 +107,23 @@ func parseBenchLine(line string) (string, metrics, bool) {
 		}
 	}
 	return name, m, true
+}
+
+// geomean computes the geometric mean of vs, skipping non-positive values
+// (their log is undefined; a 0 allocs/op result stays a per-row claim and
+// never drags a summary to zero). ok is false when nothing qualified.
+func geomean(vs []float64) (g float64, ok bool) {
+	sum, n := 0.0, 0
+	for _, v := range vs {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return math.Exp(sum / float64(n)), true
 }
 
 // delta formats the relative change from old to new.
@@ -176,6 +205,42 @@ func run(oldPath, newPath string, w io.Writer) error {
 			name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
 			oB, nB, memDelta(o.BytesPerOp, n.BytesPerOp),
 			oA, nA, memDelta(o.AllocsPerOp, n.AllocsPerOp))
+	}
+	// Summary row: the per-column geometric mean over benchmarks present in
+	// both files — one number per column for the CI log to watch instead of
+	// eyeballing every row. New-only and removed benchmarks are excluded
+	// (there is nothing to pair them with), and the row is omitted entirely
+	// when the files share no benchmark.
+	var oldNs, newNs, oldB, newB, oldA, newA []float64
+	for _, name := range names {
+		o, ok := olds[name]
+		if !ok {
+			continue
+		}
+		n := news[name]
+		oldNs = append(oldNs, o.NsPerOp)
+		newNs = append(newNs, n.NsPerOp)
+		if o.HasMem && n.HasMem {
+			oldB = append(oldB, o.BytesPerOp)
+			newB = append(newB, n.BytesPerOp)
+			oldA = append(oldA, o.AllocsPerOp)
+			newA = append(newA, n.AllocsPerOp)
+		}
+	}
+	geomeanCols := func(old, new []float64) (string, string, string) {
+		og, okOld := geomean(old)
+		ng, okNew := geomean(new)
+		if !okOld || !okNew {
+			return "-", "-", "-"
+		}
+		return strconv.FormatFloat(og, 'f', 1, 64), strconv.FormatFloat(ng, 'f', 1, 64), delta(og, ng)
+	}
+	if len(oldNs) > 0 {
+		oNs, nNs, dNs := geomeanCols(oldNs, newNs)
+		oBs, nBs, dB := geomeanCols(oldB, newB)
+		oAs, nAs, dA := geomeanCols(oldA, newA)
+		fmt.Fprintf(w, "%-40s %14s %14s %8s %9s %9s %8s %10s %10s %8s\n",
+			"geomean", oNs, nNs, dNs, oBs, nBs, dB, oAs, nAs, dA)
 	}
 	for name := range olds {
 		if _, ok := news[name]; !ok {

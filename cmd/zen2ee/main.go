@@ -4,8 +4,8 @@
 // Usage:
 //
 //	zen2ee list                          # list all experiments
-//	zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json] [-trace F] [-listen-workers ADDR [-min-workers N]]
-//	zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json] [-o F] [-trace F] [-listen-workers ADDR [-min-workers N]]
+//	zen2ee run <id>|all [-scale S] [-seed N] [-parallel N] [-csv|-json] [-trace F] [-shard-cache DIR] [-listen-workers ADDR [-min-workers N] [-lease-batch K]]
+//	zen2ee sweep [<id>...|all] [-scales S1,S2] [-seeds N1..N2] [-parallel N] [-json] [-o F] [-trace F] [-shard-cache DIR] [-listen-workers ADDR [-min-workers N] [-lease-batch K]]
 //	zen2ee gen-experiments [-scale S] [-seed N] [-parallel N]
 //
 // Scale 1 gives quick, statistically meaningful runs; the paper's full
@@ -21,6 +21,11 @@
 // Output streams section by section as configurations complete, so memory
 // is bounded by the in-flight window, not the grid; -o writes the document
 // through a temp file renamed into place only on success.
+//
+// With -shard-cache DIR individual shard outputs are memoized
+// content-addressed under DIR. Re-running any spec over a warm cache skips
+// execution at shard granularity with byte-identical output, and a killed
+// sweep resumes from its last completed shard on the next invocation.
 package main
 
 import (
@@ -41,6 +46,8 @@ import (
 	"zen2ee/internal/dist"
 	"zen2ee/internal/obs"
 	"zen2ee/internal/report"
+	"zen2ee/internal/shardcache"
+	"zen2ee/internal/store"
 )
 
 func main() {
@@ -105,6 +112,15 @@ flags (accepted before or after the positional argument):
                the fallback and results are byte-identical to a local run
   -min-workers N  wait until N workers have registered before starting
                (only with -listen-workers)
+  -lease-batch K  run/sweep only: let one worker long-poll return up to K
+               shard leases at once (only with -listen-workers; 0 uses
+               the coordinator default of 16)
+  -shard-cache DIR  run/sweep only: memoize per-shard outputs content-
+               addressed under DIR; shards whose key is already cached
+               are served without executing, with byte-identical output.
+               Keys cover experiment, scale, seed, shard index, and the
+               experiment-registry version, so a registry change
+               invalidates the whole cache
 
 sweep runs the scales × seeds cross-product of configurations as one
 batched job; each configuration's output section is byte-identical to the
@@ -137,7 +153,14 @@ type experimentFlags struct {
 	// minWorkers delays the run until that many have registered.
 	listenWorkers string
 	minWorkers    int
-	pos           []string
+	// shardCacheDir memoizes per-shard outputs in a content-addressed
+	// store rooted at this directory; a warm cache skips execution at
+	// shard granularity with byte-identical output (-shard-cache).
+	shardCacheDir string
+	// leaseBatch caps how many shard leases one worker long-poll may
+	// return (-lease-batch; 0 means the coordinator default).
+	leaseBatch int
+	pos        []string
 }
 
 // parseExperimentArgs scans args in a single pass, accepting flags before
@@ -214,6 +237,16 @@ func parseExperimentArgs(args []string) (experimentFlags, error) {
 			f.memprofile, err = takeValue()
 		case "listen-workers":
 			f.listenWorkers, err = takeValue()
+		case "shard-cache":
+			f.shardCacheDir, err = takeValue()
+		case "lease-batch":
+			var v string
+			if v, err = takeValue(); err == nil {
+				f.leaseBatch, err = strconv.Atoi(v)
+				if err == nil && f.leaseBatch < 0 {
+					err = fmt.Errorf("must be >= 0 (0 means the default)")
+				}
+			}
 		case "min-workers":
 			var v string
 			if v, err = takeValue(); err == nil {
@@ -370,13 +403,16 @@ func (f experimentFlags) withCoordinator(runCfg *core.RunConfig, tr *obs.Trace) 
 		if f.minWorkers > 0 {
 			return nil, fmt.Errorf("-min-workers needs -listen-workers")
 		}
+		if f.leaseBatch > 0 {
+			return nil, fmt.Errorf("-lease-batch needs -listen-workers")
+		}
 		return func() {}, nil
 	}
 	ln, err := net.Listen("tcp", f.listenWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("-listen-workers: %w", err)
 	}
-	coord := dist.NewCoordinator(dist.Config{})
+	coord := dist.NewCoordinator(dist.Config{MaxLeaseBatch: f.leaseBatch})
 	srv := &http.Server{Handler: coord.Handler()}
 	go srv.Serve(ln)
 	addr := ln.Addr().String()
@@ -401,6 +437,41 @@ func (f experimentFlags) withCoordinator(runCfg *core.RunConfig, tr *obs.Trace) 
 		h.Finish()
 		srv.Close()
 		coord.Close()
+	}, nil
+}
+
+// shardCacheMemEntries/Bytes bound the in-process tier fronting the
+// -shard-cache directory; the disk tier underneath is unbounded, so these
+// only trade memory for re-reads on very large sweeps.
+const (
+	shardCacheMemEntries = 512
+	shardCacheMemBytes   = 128 << 20
+)
+
+// withShardCache wires shard-output memoization into a run when
+// -shard-cache is set: shard outputs are stored content-addressed under
+// the given directory (fronted by a small memory tier), and any shard
+// whose key is already present is served from the cache instead of
+// executed — byte-identical, per the engine's determinism guarantee. It
+// must wrap runCfg.RunShard after withCoordinator so cached shards skip
+// the lease queue entirely. The returned cleanup closes the store and
+// reports hit/miss counts; it must run after the scheduler returns.
+func (f experimentFlags) withShardCache(runCfg *core.RunConfig, tr *obs.Trace) (cleanup func(), err error) {
+	if f.shardCacheDir == "" {
+		return func() {}, nil
+	}
+	disk, err := store.NewDisk(f.shardCacheDir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("-shard-cache: %w", err)
+	}
+	st := store.NewTiered(store.NewMemory(shardCacheMemEntries, shardCacheMemBytes), disk)
+	cache := shardcache.New(st, "")
+	runCfg.RunShard = cache.WrapRunShard(runCfg.RunShard, tr)
+	return func() {
+		s := cache.Stats()
+		fmt.Fprintf(os.Stderr, "zen2ee: shard cache: %d hit(s), %d miss(es), %d byte(s) served\n",
+			s.Hits, s.Misses, s.BytesServed)
+		st.Close()
 	}, nil
 }
 
@@ -442,6 +513,11 @@ func runExperiments(f experimentFlags) error {
 		return err
 	}
 	defer finish()
+	cacheDone, err := f.withShardCache(&runCfg, tr)
+	if err != nil {
+		return err
+	}
+	defer cacheDone()
 	var results []*core.Result
 	if f.pos[0] == "all" {
 		results, err = core.RunIDsConfig(nil, f.opts, runCfg, printProgress)
@@ -543,6 +619,11 @@ func sweep(args []string) error {
 			return err
 		}
 		defer finish()
+		cacheDone, err := f.withShardCache(&runCfg, tr)
+		if err != nil {
+			return err
+		}
+		defer cacheDone()
 		out, commit, err := openOutput(f.output)
 		if err != nil {
 			return err
@@ -686,6 +767,9 @@ func genExperiments(args []string) error {
 	}
 	if f.listenWorkers != "" || f.minWorkers > 0 {
 		return fmt.Errorf("-listen-workers/-min-workers are run/sweep flags")
+	}
+	if f.shardCacheDir != "" || f.leaseBatch > 0 {
+		return fmt.Errorf("-shard-cache/-lease-batch are run/sweep flags")
 	}
 	if len(f.pos) != 0 {
 		return fmt.Errorf("gen-experiments takes no positional arguments")

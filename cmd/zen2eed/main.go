@@ -7,8 +7,8 @@
 //
 // Usage: zen2eed [-addr :8080] [-executors N] [-queue N] [-cache N]
 // [-cache-bytes N] [-sse-keepalive D] [-log-format text|json] [-log-level L]
-// [-trace-bytes N] [-pprof] [-listen-workers] [-lease-ttl D]
-// [-tenant-config F] [-store-dir D] [-store-bytes N]
+// [-trace-bytes N] [-pprof] [-listen-workers] [-lease-ttl D] [-lease-batch K]
+// [-tenant-config F] [-store-dir D] [-store-bytes N] [-shard-cache]
 //
 // With -tenant-config the daemon enforces multi-tenant governance: job
 // submissions authenticate with API keys (Authorization: Bearer or
@@ -22,6 +22,14 @@
 // cache (and results computed before a restart) are served from disk
 // instead of being re-simulated, and daemons sharing the directory warm
 // each other.
+//
+// With -shard-cache individual shard outputs are additionally memoized in
+// the result store under their deterministic (experiment, scale, seed,
+// shard) address: a sweep that shares configurations with earlier work
+// re-executes only its missing shards, and combined with -store-dir a
+// daemon killed mid-sweep resumes from its last completed shard — with
+// byte-identical results, since the cached gob payloads round-trip
+// float64 values exactly.
 //
 // With -listen-workers the daemon also acts as a distributed shard
 // coordinator: headless worker processes started with
@@ -74,6 +82,7 @@ import (
 
 	"zen2ee/internal/dist"
 	"zen2ee/internal/service"
+	"zen2ee/internal/shardcache"
 	"zen2ee/internal/store"
 	"zen2ee/internal/tenant"
 )
@@ -94,7 +103,14 @@ type options struct {
 	tenantConfig string
 	storeDir     string
 	storeBytes   int64
-	cfg          service.Config
+	// shardCache enables shard-output memoization: in daemon mode shard
+	// outputs land in the result store (disk-backed with -store-dir); in
+	// worker mode the worker keeps a bounded memory tier sized by
+	// -cache/-cache-bytes. leaseBatch tunes the dist protocol's batch
+	// size on whichever side this process runs.
+	shardCache bool
+	leaseBatch int
+	cfg        service.Config
 }
 
 // buildLogger resolves the -log-format/-log-level pair into the daemon's
@@ -150,6 +166,10 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 		"directory for the persistent result-store tier: computed results are written through to content-addressed files and survive daemon restarts (omitted = memory-only cache)")
 	fs.Int64Var(&o.storeBytes, "store-bytes", 0,
 		"persistent store tier byte bound, evicted LRU-first past it (0 = unbounded; needs -store-dir)")
+	fs.BoolVar(&o.shardCache, "shard-cache", false,
+		"memoize individual shard outputs by their deterministic address: warm shards skip execution, and with -store-dir an interrupted sweep resumes from its last completed shard after a restart; in -worker mode the worker keeps a bounded in-memory shard cache consulted before executing")
+	fs.IntVar(&o.leaseBatch, "lease-batch", 0,
+		"shard tasks moved per dist lease round trip: with -listen-workers, the most one worker poll may be granted (0 = the 16 default); with -worker, the batch size requested per poll (0 = the slot count)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -189,6 +209,14 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	if o.worker != "" && (o.tenantConfig != "" || o.storeDir != "") {
 		return o, fmt.Errorf("-tenant-config and -store-dir only apply to the serving daemon, not -worker mode")
 	}
+	if o.leaseBatch < 0 {
+		return o, fmt.Errorf("-lease-batch must be >= 0 (0 means the default)")
+	}
+	if o.leaseBatch > 0 && o.worker == "" && !o.cfg.Dist {
+		return o, fmt.Errorf("-lease-batch only applies with -worker or -listen-workers")
+	}
+	o.cfg.ShardCache = o.shardCache
+	o.cfg.DistLeaseBatch = o.leaseBatch
 	return o, nil
 }
 
@@ -207,10 +235,17 @@ func runWorker(o options, logger *slog.Logger) error {
 			name = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
 	}
-	w, err := dist.NewWorker(dist.WorkerConfig{
+	cfg := dist.WorkerConfig{
 		Coordinator: o.worker, Name: name, Host: host, PID: os.Getpid(),
-		Slots: o.cfg.Executors, Logger: logger,
-	})
+		Slots: o.cfg.Executors, LeaseBatch: o.leaseBatch, Logger: logger,
+	}
+	if o.shardCache {
+		// Worker-side memoization is memory-only (workers are disposable);
+		// the -cache/-cache-bytes bounds, unused in worker mode otherwise,
+		// size it.
+		cfg.Cache = shardcache.New(store.NewMemory(o.cfg.CacheEntries, o.cfg.CacheBytes), "")
+	}
+	w, err := dist.NewWorker(cfg)
 	if err != nil {
 		return err
 	}
@@ -309,6 +344,9 @@ func main() {
 	}
 	if o.storeDir != "" {
 		fmt.Fprintf(os.Stderr, "zen2eed: persistent result store at %s\n", o.storeDir)
+	}
+	if o.shardCache {
+		fmt.Fprintln(os.Stderr, "zen2eed: shard-output memoization enabled")
 	}
 	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "zen2eed:", err)

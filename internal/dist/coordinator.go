@@ -50,6 +50,9 @@ type Config struct {
 	// PollWait caps how long an empty /lease long-poll is held before
 	// returning no task. Default 2s.
 	PollWait time.Duration
+	// MaxLeaseBatch caps how many tasks one lease poll may grant to a
+	// worker that asks for a batch (leaseRequest.Max). Default 16.
+	MaxLeaseBatch int
 	// Local, when non-nil, gates local-fallback execution (the zen2eed
 	// daemon wraps its executor-slot acquisition here so local fallback
 	// respects -executors). Nil runs the thunk directly.
@@ -70,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PollWait <= 0 {
 		c.PollWait = 2 * time.Second
+	}
+	if c.MaxLeaseBatch <= 0 {
+		c.MaxLeaseBatch = 16
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
@@ -297,11 +303,17 @@ func (c *Coordinator) register(req registerRequest) registerResponse {
 	c.workers[id] = w
 	c.log.Info("dist: worker registered", "worker", name, "id", id, "slots", slots, "host", req.Host, "pid", req.PID)
 	c.broadcastLocked()
-	return registerResponse{
+	resp := registerResponse{
 		WorkerID:        id,
 		HeartbeatMillis: (c.cfg.LeaseTTL / 4).Milliseconds(),
 		LeaseTTLMillis:  c.cfg.LeaseTTL.Milliseconds(),
 	}
+	if req.Compression == compressionFlate {
+		// Accept the one scheme the protocol knows; anything else is
+		// declined by omission and the worker sends uncompressed.
+		resp.Compression = compressionFlate
+	}
+	return resp
 }
 
 // heartbeat refreshes a worker's liveness.
@@ -331,13 +343,21 @@ func (c *Coordinator) deregister(workerID string) {
 	c.dropWorkerLocked(w, false)
 }
 
-// lease long-polls for a task on behalf of a worker: the first eligible
-// pending task, preferring one whose (run, configuration) the worker has
-// already served (locality). An empty poll past the wait window returns
+// lease long-polls for tasks on behalf of a worker: the first eligible
+// pending task — preferring one whose (run, configuration) the worker has
+// already served (locality) — plus, when the worker asked for a batch, up
+// to max-1 more taken in the same locked section, so one round trip can
+// fill a whole slot pool. An empty poll past the wait window returns
 // (nil, nil).
-func (c *Coordinator) lease(ctx context.Context, workerID string, wait time.Duration) (*TaskSpec, error) {
+func (c *Coordinator) lease(ctx context.Context, workerID string, wait time.Duration, max int) ([]TaskSpec, error) {
 	if wait <= 0 || wait > c.cfg.PollWait {
 		wait = c.cfg.PollWait
+	}
+	if max < 1 {
+		max = 1
+	}
+	if max > c.cfg.MaxLeaseBatch {
+		max = c.cfg.MaxLeaseBatch
 	}
 	deadline := time.NewTimer(wait)
 	defer deadline.Stop()
@@ -354,9 +374,16 @@ func (c *Coordinator) lease(ctx context.Context, workerID string, wait time.Dura
 			return nil, errDraining
 		}
 		if t := c.takeLocked(w); t != nil {
-			spec := t.spec
+			specs := []TaskSpec{t.spec}
+			for len(specs) < max {
+				more := c.takeLocked(w)
+				if more == nil {
+					break
+				}
+				specs = append(specs, more.spec)
+			}
 			c.mu.Unlock()
-			return &spec, nil
+			return specs, nil
 		}
 		ch := c.wake
 		c.mu.Unlock()
@@ -437,11 +464,21 @@ func (c *Coordinator) complete(req completeRequest) (duplicate bool, err error) 
 	var execErr error
 	if req.Error != "" {
 		execErr = errors.New(req.Error)
-	} else if out, err = decodeOutput(req.Output); err != nil {
-		// An undecodable output is an execution failure of this shard (an
-		// unregistered output type, a version skew), not a protocol error:
-		// fail the shard loudly instead of poisoning the reduce.
-		out, execErr = nil, fmt.Errorf("dist: decoding output from worker %s: %w", w.name, err)
+	} else {
+		raw := req.Output
+		if req.Compressed {
+			raw, err = decompressOutput(raw)
+		}
+		if err == nil {
+			out, err = decodeOutput(raw)
+		}
+		if err != nil {
+			// An undecodable output is an execution failure of this shard (an
+			// unregistered output type, a version skew, a corrupt compressed
+			// payload), not a protocol error: fail the shard loudly instead
+			// of poisoning the reduce.
+			out, execErr = nil, fmt.Errorf("dist: decoding output from worker %s: %w", w.name, err)
+		}
 	}
 	if tr := t.run.trace; tr.Enabled() {
 		tr.Add(obs.Span{

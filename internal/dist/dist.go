@@ -13,17 +13,25 @@
 // index. Both sides run the same binary against the same registry, so the
 // reference — not the closure — crosses the wire, and the worker re-derives
 // the identical plan and per-shard RNG stream via core.ExecuteShardRef.
-// Outputs return as gob payloads, which round-trip float64 values
-// bit-exactly; worker-measured execution windows merge into the
+// Outputs return as gob payloads (the internal/shardcache codec, which
+// round-trips float64 values bit-exactly), optionally flate-compressed when
+// negotiated at register; worker-measured execution windows merge into the
 // coordinator's obs.Trace as CatRemote spans with worker attribution, so a
 // distributed run still renders one coherent Chrome-trace timeline.
+//
+// One lease long-poll may grant a batch of tasks (leaseRequest.Max), so a
+// worker with many slots amortizes the dispatch round trip instead of
+// paying one per shard; completions pipeline independently of execution.
 package dist
 
 import (
 	"bytes"
-	"encoding/gob"
+	"compress/flate"
+	"fmt"
+	"io"
 
 	"zen2ee/internal/core"
+	"zen2ee/internal/shardcache"
 )
 
 // TaskSpec is one leased unit of work on the wire.
@@ -36,6 +44,11 @@ type TaskSpec struct {
 	Label string `json:"label,omitempty"`
 }
 
+// compressionFlate is the one compression scheme the protocol knows; it is
+// offered by the worker at register and echoed by the coordinator when
+// accepted.
+const compressionFlate = "flate"
+
 // Wire bodies of the worker protocol under POST /dist/v1/. All requests
 // and responses are JSON; outputs travel as gob inside the JSON (base64 by
 // encoding/json's []byte rule).
@@ -44,31 +57,59 @@ type registerRequest struct {
 	Host  string `json:"host,omitempty"`
 	PID   int    `json:"pid,omitempty"`
 	Slots int    `json:"slots"`
+	// Compression offers a payload compression scheme ("flate"); the
+	// coordinator echoes it back when accepted. Empty means uncompressed.
+	Compression string `json:"compression,omitempty"`
 }
 
 type registerResponse struct {
 	WorkerID        string `json:"worker_id"`
 	HeartbeatMillis int64  `json:"heartbeat_ms"`
 	LeaseTTLMillis  int64  `json:"lease_ttl_ms"`
+	// Compression confirms the scheme the worker may apply to completion
+	// outputs; empty rejects the offer.
+	Compression string `json:"compression,omitempty"`
 }
 
 type leaseRequest struct {
 	WorkerID   string `json:"worker_id"`
 	WaitMillis int64  `json:"wait_ms,omitempty"`
+	// Max is the largest task batch this poll accepts. 0 and 1 both mean
+	// one task, answered in the singular Task field; larger values may be
+	// answered with up to Max tasks in Tasks (capped by the coordinator's
+	// MaxLeaseBatch).
+	Max int `json:"max,omitempty"`
 }
 
 type leaseResponse struct {
-	// Task is nil on an empty poll: no work became eligible within the
-	// poll window; lease again.
+	// Task is the grant of a Max<=1 poll; nil on an empty poll (no work
+	// became eligible within the poll window; lease again).
 	Task *TaskSpec `json:"task,omitempty"`
+	// Tasks is the grant of a Max>1 poll: between 1 and Max tasks, leased
+	// atomically. Empty on an empty poll.
+	Tasks []TaskSpec `json:"tasks,omitempty"`
+}
+
+// granted flattens the two grant shapes into one slice.
+func (r leaseResponse) granted() []TaskSpec {
+	if len(r.Tasks) > 0 {
+		return r.Tasks
+	}
+	if r.Task != nil {
+		return []TaskSpec{*r.Task}
+	}
+	return nil
 }
 
 type completeRequest struct {
 	WorkerID string `json:"worker_id"`
 	TaskID   string `json:"task_id"`
 	// Output is the gob-encoded shard output (empty for a nil output or a
-	// failed shard).
+	// failed shard), flate-compressed when Compressed is set.
 	Output []byte `json:"output,omitempty"`
+	// Compressed marks Output as flate-compressed; only workers whose
+	// register negotiated compression set it.
+	Compressed bool `json:"compressed,omitempty"`
 	// Error is the shard's failure message; empty means success.
 	Error string `json:"error,omitempty"`
 	// StartDeltaNS is lease receipt → execution start on the worker's
@@ -110,51 +151,54 @@ const (
 	codeDraining = "draining"
 )
 
-// encodeOutput serializes a shard output for the wire. gob preserves
-// float64 bit patterns exactly, so outputs round-trip without perturbing
-// the byte-determinism of downstream reduction and marshaling. A nil
-// output encodes as an empty payload.
-func encodeOutput(v any) ([]byte, error) {
-	if v == nil {
-		return nil, nil
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
+// The output codec lives in internal/shardcache so the shard-memoization
+// layer and the wire share one bit-exact encoding; these wrappers keep the
+// package-local call sites (and the public RegisterOutputType entry point)
+// stable.
 
-// decodeOutput is encodeOutput's inverse.
-func decodeOutput(b []byte) (any, error) {
-	if len(b) == 0 {
-		return nil, nil
-	}
-	var v any
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
-		return nil, err
-	}
-	return v, nil
-}
+func encodeOutput(v any) ([]byte, error) { return shardcache.EncodeOutput(v) }
+
+func decodeOutput(b []byte) (any, error) { return shardcache.DecodeOutput(b) }
 
 // RegisterOutputType registers a shard-output concrete type with the wire
 // codec. The types every registered experiment returns today are built in;
 // an experiment introducing a new output type calls this from an init so
 // its shards can cross the wire.
-func RegisterOutputType(v any) { gob.Register(v) }
+func RegisterOutputType(v any) { shardcache.RegisterOutputType(v) }
 
-func init() {
-	// The shard-output types of the current registry: scalar metrics
-	// (fig7's idle floor, tab1/fig4 samples), series ([]float64 sweeps,
-	// fig8's latency matrix rows), and whole Results from auto-wrapped
-	// monolithic plans — plus a few basics so simple custom experiments
-	// work unregistered.
-	for _, v := range []any{
-		float64(0), []float64(nil), [][]float64(nil),
-		int(0), int64(0), uint64(0), string(""), bool(false),
-		map[string]float64(nil), map[string][]float64(nil),
-		&core.Result{},
-	} {
-		gob.Register(v)
+// compressMinBytes is the payload size below which compression is skipped:
+// tiny gob outputs (a scalar, a short series) cost more in flate framing
+// than they save.
+const compressMinBytes = 512
+
+// compressOutput flate-compresses an encoded output.
+func compressOutput(b []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
 	}
+	if _, err := zw.Write(b); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decompressOutput inverts compressOutput, bounding the inflated size by
+// the same limit the HTTP layer puts on request bodies — a compressed
+// payload must not expand past what an uncompressed one could carry.
+func decompressOutput(b []byte) ([]byte, error) {
+	zr := flate.NewReader(bytes.NewReader(b))
+	defer zr.Close()
+	out, err := io.ReadAll(io.LimitReader(zr, maxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(out) > maxBodyBytes {
+		return nil, fmt.Errorf("dist: decompressed output exceeds the %d-byte limit", maxBodyBytes)
+	}
+	return out, nil
 }

@@ -82,12 +82,22 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	spec, err := c.lease(r.Context(), req.WorkerID, time.Duration(req.WaitMillis)*time.Millisecond)
+	specs, err := c.lease(r.Context(), req.WorkerID, time.Duration(req.WaitMillis)*time.Millisecond, req.Max)
 	if err != nil {
 		writeProtoError(w, err)
 		return
 	}
-	writeDistJSON(w, http.StatusOK, leaseResponse{Task: spec})
+	var resp leaseResponse
+	if req.Max <= 1 {
+		// Singular polls are answered in the singular field, so a worker
+		// that never asked for a batch never has to look at Tasks.
+		if len(specs) == 1 {
+			resp.Task = &specs[0]
+		}
+	} else {
+		resp.Tasks = specs
+	}
+	writeDistJSON(w, http.StatusOK, resp)
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {

@@ -1,12 +1,17 @@
 // The worker client: what `zen2eed -worker http://coordinator:port` runs.
-// A worker registers, then drives N slot loops of lease → execute →
-// complete against the coordinator, heartbeating in the background for the
-// whole lifetime (including while executing — a long shard must not read
-// as a lost worker). Shutdown is graceful by construction: cancelling the
-// run context stops new leases immediately (the in-flight long-poll is
-// cancelled), in-flight executions finish and complete within a drain
-// bound, and the final deregister relinquishes anything still held so the
-// coordinator re-queues it without waiting for heartbeat expiry.
+// A worker registers, then drives a pipeline against the coordinator: one
+// fetcher long-polls for task batches (up to LeaseBatch per round trip),
+// N slot goroutines execute them concurrently, and completion posters
+// report results independently of execution — so neither the lease round
+// trip nor the completion round trip is paid once per shard per slot. A
+// heartbeat runs in the background for the whole lifetime (including while
+// executing — a long shard must not read as a lost worker). Shutdown is
+// graceful by construction: cancelling the run context stops new leases
+// immediately (the in-flight long-poll is cancelled), in-flight executions
+// finish and their completions flush within a drain bound, and the final
+// deregister relinquishes anything still held — leased-but-unstarted batch
+// tasks included — so the coordinator re-queues it without waiting for
+// heartbeat expiry.
 
 package dist
 
@@ -25,6 +30,7 @@ import (
 	"time"
 
 	"zen2ee/internal/core"
+	"zen2ee/internal/shardcache"
 )
 
 // WorkerConfig configures a Worker.
@@ -40,14 +46,28 @@ type WorkerConfig struct {
 	PID int
 	// Slots is the number of shards executed concurrently (default 1).
 	Slots int
+	// LeaseBatch is the largest task batch one lease poll requests
+	// (default: Slots). The fetcher asks for at most the buffer space it
+	// can hold, so a worker never hoards leases it cannot start; the
+	// coordinator additionally caps grants at its MaxLeaseBatch.
+	LeaseBatch int
 	// Execute runs one leased task. Default: core.ExecuteShardRef on the
 	// task's shard reference — the production path. Tests inject stubs.
 	Execute func(TaskSpec) (any, error)
+	// Cache, when non-nil, memoizes shard outputs by their ShardRef: the
+	// worker consults it before Execute and backfills it after, so a fleet
+	// re-running a sweep (a crashed coordinator, a repeated sweep) skips
+	// shards it already computed. zen2eed -worker -shard-cache wires a
+	// bounded memory tier here.
+	Cache *shardcache.Cache
 	// DrainTimeout bounds how long shutdown waits for in-flight shards to
 	// finish before relinquishing them via deregister (default 30s).
 	DrainTimeout time.Duration
-	// Client is the HTTP client (default: no global timeout — lease
-	// long-polls are bounded per request).
+	// Client is the HTTP client. The default has no global timeout (lease
+	// long-polls are bounded per request) and a transport whose idle pool
+	// covers every connection the worker holds at once — Slots completion
+	// posters, the lease fetcher, and the heartbeat — so steady-state
+	// operation reuses connections instead of re-dialing per shard.
 	Client *http.Client
 	// Logger receives lifecycle events; nil discards.
 	Logger *slog.Logger
@@ -61,15 +81,16 @@ type Worker struct {
 	client *http.Client
 	log    *slog.Logger
 
-	// regMu serializes re-registration so concurrent slot loops that all
-	// hit unknown_worker (one coordinator restart expires every lease at
-	// once) rejoin as ONE worker instead of N duplicate pool entries.
+	// regMu serializes re-registration so the generation check in
+	// reregister stays race-free however many goroutines observe a stale
+	// identity at once.
 	regMu sync.Mutex
 
 	mu        sync.Mutex
 	id        string
 	gen       uint64 // bumped by every successful (re-)registration
 	heartbeat time.Duration
+	compress  bool // coordinator accepted flate at register
 }
 
 // NewWorker validates the configuration and builds a worker.
@@ -80,6 +101,9 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	if cfg.Slots < 1 {
 		cfg.Slots = 1
+	}
+	if cfg.LeaseBatch < 1 {
+		cfg.LeaseBatch = cfg.Slots
 	}
 	if cfg.Execute == nil {
 		cfg.Execute = func(t TaskSpec) (any, error) { return core.ExecuteShardRef(t.Ref) }
@@ -92,7 +116,17 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{}
+		// The default http.Transport keeps 2 idle connections per host —
+		// under Slots concurrent completions plus the fetcher and the
+		// heartbeat, everything past the first two re-dials on every
+		// request. Size the idle pool to the worker's actual concurrency.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		conns := cfg.Slots + 2 // completion posters + fetcher + heartbeat
+		tr.MaxIdleConnsPerHost = conns
+		if tr.MaxIdleConns < conns {
+			tr.MaxIdleConns = conns
+		}
+		client = &http.Client{Transport: tr}
 	}
 	return &Worker{
 		cfg:    cfg,
@@ -152,7 +186,10 @@ func (w *Worker) post(ctx context.Context, path string, req, resp any) error {
 // register (re-)registers the worker, retrying transport failures with
 // backoff until the context is cancelled.
 func (w *Worker) register(ctx context.Context) error {
-	req := registerRequest{Name: w.cfg.Name, Host: w.cfg.Host, PID: w.cfg.PID, Slots: w.cfg.Slots}
+	req := registerRequest{
+		Name: w.cfg.Name, Host: w.cfg.Host, PID: w.cfg.PID, Slots: w.cfg.Slots,
+		Compression: compressionFlate,
+	}
 	backoff := 200 * time.Millisecond
 	for {
 		var resp registerResponse
@@ -165,9 +202,11 @@ func (w *Worker) register(ctx context.Context) error {
 			if w.heartbeat <= 0 {
 				w.heartbeat = time.Second
 			}
+			w.compress = resp.Compression == compressionFlate
 			w.mu.Unlock()
 			w.log.Info("dist: registered with coordinator", "coordinator", w.base,
-				"worker_id", resp.WorkerID, "heartbeat", w.heartbeat)
+				"worker_id", resp.WorkerID, "heartbeat", w.heartbeat,
+				"compression", resp.Compression)
 			return nil
 		}
 		if ctx.Err() != nil {
@@ -199,11 +238,17 @@ func (w *Worker) identity() (string, uint64) {
 	return w.id, w.gen
 }
 
+func (w *Worker) compressionNegotiated() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.compress
+}
+
 // reregister rejoins the pool after the coordinator rejected the given
 // registration generation (expiry, or a coordinator restart that lost the
 // pool). Exactly one caller per generation performs the registration;
-// concurrent slot loops that observed the same stale identity return
-// immediately and pick up the new one on their next lease.
+// a caller that observed an identity someone else already replaced
+// returns immediately and picks up the new one.
 func (w *Worker) reregister(ctx context.Context, seen uint64) error {
 	w.regMu.Lock()
 	defer w.regMu.Unlock()
@@ -211,7 +256,7 @@ func (w *Worker) reregister(ctx context.Context, seen uint64) error {
 	current := w.gen
 	w.mu.Unlock()
 	if current != seen {
-		return nil // another slot loop already rejoined
+		return nil // already rejoined
 	}
 	return w.register(ctx)
 }
@@ -222,9 +267,19 @@ func (w *Worker) heartbeatInterval() time.Duration {
 	return w.heartbeat
 }
 
+// completion is one finished task on its way to the coordinator.
+type completion struct {
+	task       TaskSpec
+	out        any
+	err        error
+	startDelta time.Duration
+	dur        time.Duration
+}
+
 // Run executes the worker until ctx is cancelled, then drains: in-flight
-// shards finish (bounded by DrainTimeout) and a final deregister
-// relinquishes anything left so the coordinator re-queues it immediately.
+// shards finish and their completions flush (bounded by DrainTimeout), and
+// a final deregister relinquishes anything left — including batch-leased
+// tasks that never started — so the coordinator re-queues it immediately.
 // The returned error is non-nil only when the initial registration never
 // succeeded.
 func (w *Worker) Run(ctx context.Context) error {
@@ -242,25 +297,54 @@ func (w *Worker) Run(ctx context.Context) error {
 		w.heartbeatLoop(hbStop)
 	}()
 
+	// The pipeline: fetcher → tasks → slot executors → completions →
+	// posters. Both channels are buffered to the batch size so a full
+	// lease grant is absorbed without blocking the fetcher, and a slot
+	// never waits on a completion round trip before starting its next
+	// task.
+	tasks := make(chan TaskSpec, w.cfg.LeaseBatch)
+	completions := make(chan completion, w.cfg.LeaseBatch+w.cfg.Slots)
+
+	go w.fetchLoop(ctx, tasks)
+
 	var slots sync.WaitGroup
 	for i := 0; i < w.cfg.Slots; i++ {
 		slots.Add(1)
 		go func(slot int) {
 			defer slots.Done()
-			w.slotLoop(ctx, slot)
+			w.slotLoop(ctx, slot, tasks, completions)
 		}(i)
 	}
-	slotsDone := make(chan struct{})
+	// The completion channel closes strictly after the last executor is
+	// done sending — even past a drain timeout, so a shard that unsticks
+	// late still flows through (and is dropped as stale) instead of
+	// panicking on a closed channel.
 	go func() {
 		slots.Wait()
-		close(slotsDone)
+		close(completions)
 	}()
+	var posters sync.WaitGroup
+	for i := 0; i < w.cfg.Slots; i++ {
+		posters.Add(1)
+		go func() {
+			defer posters.Done()
+			for comp := range completions {
+				w.complete(comp.task, comp.out, comp.err, comp.startDelta, comp.dur)
+			}
+		}()
+	}
+	drained := make(chan struct{})
+	go func() {
+		posters.Wait()
+		close(drained)
+	}()
+
 	select {
-	case <-slotsDone:
+	case <-drained:
 	case <-ctx.Done():
 		w.log.Info("dist: draining (finishing in-flight shards)", "timeout", w.cfg.DrainTimeout)
 		select {
-		case <-slotsDone:
+		case <-drained:
 		case <-time.After(w.cfg.DrainTimeout):
 			w.log.Warn("dist: drain timeout; relinquishing remaining leases")
 		}
@@ -293,29 +377,34 @@ func (w *Worker) heartbeatLoop(stop <-chan struct{}) {
 		if err != nil && !isCode(err, codeUnknownWorker) {
 			w.log.Debug("dist: heartbeat failed", "err", err)
 		}
-		// unknown_worker here means the coordinator expired us; the slot
-		// loops will hit the same code on their next lease and re-register.
+		// unknown_worker here means the coordinator expired us; the
+		// fetcher will hit the same code on its next lease and re-register.
 	}
 }
 
-// slotLoop is one execution slot: lease, execute, complete, repeat. New
-// leases stop the moment ctx is cancelled (the long-poll aborts), but an
-// execution already started always runs to completion and reports.
-func (w *Worker) slotLoop(ctx context.Context, slot int) {
+// fetchLoop is the single lease poller: it requests up to the buffer's
+// free capacity per round trip (never less than one, never more than
+// LeaseBatch) and feeds the grants to the slot executors. New leases stop
+// the moment ctx is cancelled (the long-poll aborts); grants the buffer
+// still holds then are relinquished by the final deregister.
+func (w *Worker) fetchLoop(ctx context.Context, tasks chan<- TaskSpec) {
 	backoff := 100 * time.Millisecond
 	for ctx.Err() == nil {
 		id, gen := w.identity()
+		want := cap(tasks) - len(tasks)
+		if want < 1 {
+			want = 1
+		}
 		var resp leaseResponse
 		err := w.post(ctx, "/dist/v1/lease",
-			leaseRequest{WorkerID: id, WaitMillis: 2000}, &resp)
+			leaseRequest{WorkerID: id, WaitMillis: 2000, Max: want}, &resp)
 		switch {
 		case err == nil:
 			backoff = 100 * time.Millisecond
 		case ctx.Err() != nil:
 			return
 		case isCode(err, codeUnknownWorker):
-			// Expired (a stall, a coordinator restart): rejoin the pool —
-			// once, however many slot loops hit this branch together.
+			// Expired (a stall, a coordinator restart): rejoin the pool.
 			w.log.Warn("dist: lease rejected (unknown worker), re-registering")
 			if w.reregister(ctx, gen) != nil {
 				return
@@ -333,28 +422,62 @@ func (w *Worker) slotLoop(ctx context.Context, slot int) {
 			}
 			continue
 		}
-		if resp.Task == nil {
-			continue // empty poll
+		for _, t := range resp.granted() {
+			select {
+			case tasks <- t:
+			case <-ctx.Done():
+				return
+			}
 		}
-		t := *resp.Task
+	}
+}
+
+// slotLoop is one execution slot: take a leased task, execute, hand the
+// result to the completion posters, repeat. An execution already started
+// always runs to completion and reports, but a task still buffered when
+// the drain begins is left to the deregister relinquish instead of being
+// started late.
+func (w *Worker) slotLoop(ctx context.Context, slot int, tasks <-chan TaskSpec, completions chan<- completion) {
+	for {
+		var t TaskSpec
+		select {
+		case <-ctx.Done():
+			return
+		case t = <-tasks:
+		}
+		if ctx.Err() != nil {
+			return
+		}
 		leased := time.Now()
 		w.log.Debug("dist: leased shard", "slot", slot, "task", t.ID, "ref", t.Ref.String())
 		start := time.Now()
 		out, execErr := w.execute(t)
-		dur := time.Since(start)
-		w.complete(t, out, execErr, start.Sub(leased), dur)
+		completions <- completion{
+			task: t, out: out, err: execErr,
+			startDelta: start.Sub(leased), dur: time.Since(start),
+		}
 	}
 }
 
 // execute runs one task, panic-guarded: a broken shard fails its lease,
-// never the worker.
+// never the worker. The shard cache, when configured, is consulted first
+// and backfilled on success.
 func (w *Worker) execute(t TaskSpec) (out any, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			out, err = nil, fmt.Errorf("panic: %v", p)
 		}
 	}()
-	return w.cfg.Execute(t)
+	if w.cfg.Cache != nil {
+		if out, ok := w.cfg.Cache.Lookup(t.Ref); ok {
+			return out, nil
+		}
+	}
+	out, err = w.cfg.Execute(t)
+	if err == nil && w.cfg.Cache != nil {
+		w.cfg.Cache.Store(t.Ref, out)
+	}
+	return out, err
 }
 
 // complete reports a finished task, retrying transport failures a few
@@ -377,6 +500,11 @@ func (w *Worker) complete(t TaskSpec, out any, execErr error, startDelta, dur ti
 			req.Error = fmt.Sprintf("dist: encoding shard output (%T): %v — register the type with dist.RegisterOutputType", out, err)
 		} else {
 			req.Output = enc
+			if w.compressionNegotiated() && len(enc) >= compressMinBytes {
+				if cb, cerr := compressOutput(enc); cerr == nil && len(cb) < len(enc) {
+					req.Output, req.Compressed = cb, true
+				}
+			}
 		}
 	}
 	for attempt := 0; attempt < 3; attempt++ {

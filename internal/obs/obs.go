@@ -46,6 +46,12 @@ const (
 	// at lease completion, alongside the scheduler's own CatShard span for
 	// the same task, so a distributed sweep renders one merged timeline.
 	CatRemote = "remote"
+	// CatCache covers one shard task served from the shard-output
+	// memoization cache (internal/shardcache): the span's window is the
+	// cache probe, recorded alongside the scheduler's CatShard span for
+	// the same task, so a warm run's timeline shows which shards never
+	// executed.
+	CatCache = "cache"
 )
 
 // Span is one timed interval of a traced run. Offsets are relative to the

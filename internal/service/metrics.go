@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"zen2ee/internal/obs"
+	"zen2ee/internal/shardcache"
 	"zen2ee/internal/store"
 	"zen2ee/internal/tenant"
 )
@@ -113,6 +114,10 @@ type gauges struct {
 	// started with -store-dir emit them.
 	disk      bool
 	diskStats store.DiskStats
+	// shardCache gates the shard-memoization series: only daemons started
+	// with -shard-cache emit them, keeping the default scrape byte-stable.
+	shardCache      bool
+	shardCacheStats shardcache.Stats
 	// tenancy gates the per-tenant series; tenants is the registry's
 	// usage snapshot, sorted by name for stable label order.
 	tenancy bool
@@ -187,6 +192,11 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		counter("zen2eed_store_disk_misses_total", "Store reads that missed both tiers and required a simulation.", g.diskStats.Misses)
 		counter("zen2eed_store_disk_evictions_total", "Objects evicted from the persistent store tier by its byte bound.", g.diskStats.Evictions)
 		counter("zen2eed_store_disk_errors_total", "Persistent store tier I/O failures (writes lost, index entries dropped).", g.diskStats.Errors)
+	}
+	if g.shardCache {
+		counter("zen2eed_shard_cache_hits_total", "Shard executions skipped because the output was memoized.", g.shardCacheStats.Hits)
+		counter("zen2eed_shard_cache_misses_total", "Shard-cache probes that fell through to execution.", g.shardCacheStats.Misses)
+		counter("zen2eed_shard_cache_bytes_total", "Summed encoded payload bytes served from the shard cache.", g.shardCacheStats.BytesServed)
 	}
 	if g.tenancy {
 		counter("zen2eed_auth_rejections_total", "Submissions rejected for a missing or unknown API key.", m.authRejects)

@@ -47,6 +47,7 @@ import (
 	"zen2ee/internal/dist"
 	"zen2ee/internal/obs"
 	"zen2ee/internal/report"
+	"zen2ee/internal/shardcache"
 	"zen2ee/internal/store"
 	"zen2ee/internal/tenant"
 )
@@ -116,6 +117,16 @@ type Config struct {
 	// 3). Both only matter when Dist is set.
 	DistLeaseTTL   time.Duration
 	DistMaxRetries int
+	// DistLeaseBatch caps how many shard tasks one worker lease poll may
+	// grant (default 16). Only matters when Dist is set.
+	DistLeaseBatch int
+	// ShardCache memoizes individual shard outputs in the result store,
+	// keyed by their deterministic core.ShardRef address: partially warm
+	// sweeps skip execution at shard granularity, and with a persistent
+	// Store a restarted daemon resumes an interrupted sweep from its last
+	// completed shard. Off by default — shard entries share the store's
+	// bounds with whole result documents.
+	ShardCache bool
 	// Tenants enables multi-tenant governance: API-key authentication on
 	// submissions, per-tenant rate limits, quotas and circuit breaking at
 	// admission, weighted fair queueing across the executor slots, and
@@ -186,7 +197,11 @@ type Server struct {
 	// otherwise. Only metrics read it (the tiered store handles
 	// fallthrough itself).
 	diskTier *store.Disk
-	metrics  *metrics
+	// shardCache, when enabled, memoizes shard outputs in the same result
+	// store (distinct keyspace: shard keys hash the ShardRef plus the
+	// registry salt, document keys hash the request spec).
+	shardCache *shardcache.Cache
+	metrics    *metrics
 	// running is the per-configuration singleflight: executors claim each
 	// configuration before simulating it, so a sweep and a single job (or
 	// two overlapping sweeps) covering the same configuration under
@@ -238,10 +253,14 @@ func New(cfg Config) *Server {
 	if tiered, ok := cfg.Store.(*store.Tiered); ok {
 		s.diskTier = tiered.DiskTier()
 	}
+	if cfg.ShardCache {
+		s.shardCache = shardcache.New(s.cache, "")
+	}
 	if cfg.Dist {
 		s.coord = dist.NewCoordinator(dist.Config{
 			LeaseTTL: cfg.DistLeaseTTL, MaxRetries: cfg.DistMaxRetries,
-			Logger: cfg.Logger,
+			MaxLeaseBatch: cfg.DistLeaseBatch,
+			Logger:        cfg.Logger,
 			// Local fallback borrows an executor slot like any other shard,
 			// so shards reclaimed from lost workers cannot oversubscribe the
 			// daemon's own simulation budget.
@@ -682,6 +701,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g.disk = true
 		g.diskStats = s.diskTier.Stats()
 	}
+	if s.shardCache != nil {
+		g.shardCache = true
+		g.shardCacheStats = s.shardCache.Stats()
+	}
 	if s.tenants != nil {
 		g.tenancy = true
 		g.tenants = s.tenantUsages()
@@ -785,10 +808,20 @@ func (s *Server) runConfig(j *job, override *int, tr *obs.Trace) (cfg core.RunCo
 	if s.coord == nil {
 		cfg.Workers = s.workersFor(override)
 		cfg.Acquire = s.gate.AcquireFunc(j.owner, j.class)
+		if s.shardCache != nil {
+			// The cache probe runs under the Acquire slot like any shard
+			// work; a hit just releases it microseconds later.
+			cfg.RunShard = s.shardCache.WrapRunShard(nil, tr)
+		}
 		return cfg, func() {}
 	}
 	h := s.coord.StartRun(tr)
 	cfg.RunShard = h.RunShard
+	if s.shardCache != nil {
+		// Probe before the lease queue: a memoized shard never costs a
+		// dispatch round trip, locally or remotely.
+		cfg.RunShard = s.shardCache.WrapRunShard(h.RunShard, tr)
+	}
 	if override != nil {
 		cfg.Workers = *override
 	} else {

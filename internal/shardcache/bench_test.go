@@ -1,0 +1,41 @@
+package shardcache
+
+import (
+	"testing"
+
+	"zen2ee/internal/core"
+	"zen2ee/internal/store"
+)
+
+// BenchmarkShardCacheHitVsCold puts the memoization win in ns: `cold`
+// executes one real tab1 shard (what every probe costs without a cache, or
+// on a miss, minus the probe itself), `hit` serves the same shard from a
+// warm memory tier — a store Get plus a gob decode.
+func BenchmarkShardCacheHitVsCold(b *testing.B) {
+	ref := core.ShardRef{Exp: "tab1", Config: core.Config{Scale: 0.25, Seed: 1}, Shard: 0}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ExecuteShardRef(ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("hit", func(b *testing.B) {
+		cache := New(store.NewMemory(16, 1<<20), "")
+		out, err := core.ExecuteShardRef(ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache.Store(ref, out)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := cache.Lookup(ref); !ok {
+				b.Fatal("warm cache missed")
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+// Process-level resume test: a real `zen2ee sweep -shard-cache DIR` run is
+// SIGKILLed after it has completed at least one shard, then re-invoked over
+// the same (now partially warm) store directory. The rerun must report
+// cache hits — it resumed from completed shards instead of starting over —
+// and its document must be byte-identical to an uncached run's. Builds the
+// CLI with the go tool, so it is skipped under -short.
+
+package shardcache
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func buildCLIBinary(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and execs the zen2ee binary; skipped under -short")
+	}
+	bin := filepath.Join(t.TempDir(), "zen2ee")
+	out, err := exec.Command("go", "build", "-o", bin, "zen2ee/cmd/zen2ee").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building zen2ee: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func sweepArgs(cacheDir, outFile string) []string {
+	args := []string{"sweep", "tab1", "sec6acpi",
+		"-scales", "0.25", "-seeds", "1,2", "-parallel", "2", "-json", "-o", outFile}
+	if cacheDir != "" {
+		args = append(args, "-shard-cache", cacheDir)
+	}
+	return args
+}
+
+var cacheSummaryRe = regexp.MustCompile(`shard cache: (\d+) hit\(s\), (\d+) miss\(es\)`)
+
+func TestE2ESweepKilledMidRunResumesFromWarmCache(t *testing.T) {
+	bin := buildCLIBinary(t)
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+
+	// Reference document: same spec, no cache.
+	refFile := filepath.Join(dir, "ref.json")
+	if out, err := exec.Command(bin, sweepArgs("", refFile)...).CombinedOutput(); err != nil {
+		t.Fatalf("reference sweep: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile(refFile)
+	if err != nil {
+		t.Fatalf("reading reference: %v", err)
+	}
+
+	// First cached run: SIGKILL it the moment a shard progress line shows
+	// on stderr — the scheduler prints that only after the shard finished,
+	// which is after the cache stored its output. If the run outpaces the
+	// watcher and exits cleanly, the store is simply fully warm; the rerun
+	// assertions below hold either way.
+	victimOut := filepath.Join(dir, "victim.json")
+	victim := exec.Command(bin, sweepArgs(cacheDir, victimOut)...)
+	stderr, err := victim.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	if err := victim.Start(); err != nil {
+		t.Fatalf("starting victim sweep: %v", err)
+	}
+	sawShard := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		signaled := false
+		for sc.Scan() {
+			if !signaled && strings.Contains(sc.Text(), "shard") {
+				close(sawShard)
+				signaled = true
+			}
+		}
+		if !signaled {
+			close(sawShard)
+		}
+	}()
+	select {
+	case <-sawShard:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("victim sweep produced no output within 30s")
+	}
+	victim.Process.Signal(syscall.SIGKILL)
+	victim.Wait()
+
+	// The interrupted run must not have finalized its -o document.
+	if victim.ProcessState != nil && !victim.ProcessState.Success() {
+		if _, err := os.Stat(victimOut); err == nil {
+			t.Fatalf("killed sweep left a finalized output document")
+		}
+	}
+
+	// Rerun over the warm store: must complete, report hits, and match the
+	// uncached reference byte for byte.
+	resumeFile := filepath.Join(dir, "resume.json")
+	resume := exec.Command(bin, sweepArgs(cacheDir, resumeFile)...)
+	var resumeErr bytes.Buffer
+	resume.Stderr = &resumeErr
+	if err := resume.Run(); err != nil {
+		t.Fatalf("resumed sweep: %v\n%s", err, resumeErr.String())
+	}
+	m := cacheSummaryRe.FindStringSubmatch(resumeErr.String())
+	if m == nil {
+		t.Fatalf("resumed sweep printed no cache summary:\n%s", resumeErr.String())
+	}
+	hits, _ := strconv.Atoi(m[1])
+	if hits < 1 {
+		t.Fatalf("resumed sweep reported %d hits — nothing survived the kill:\n%s", hits, resumeErr.String())
+	}
+	got, err := os.ReadFile(resumeFile)
+	if err != nil {
+		t.Fatalf("reading resumed output: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed sweep differs from uncached reference (%d vs %d bytes)", len(got), len(want))
+	}
+	t.Logf("resumed with %s hit(s), %s miss(es)", m[1], m[2])
+}
